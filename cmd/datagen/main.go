@@ -1,0 +1,80 @@
+// Command datagen generates the synthetic bibliographic corpora the
+// experiments use (the DBLP/CITESEERX substitutes) and applies the
+// paper's ×n "increase" method, writing tab-separated record lines to
+// stdout or a file.
+//
+//	datagen -n 5000 -style dblp -factor 10 -out dblp_x10.tsv
+//
+// Two corpora for an R-S join should share one -seed and use -overlap on
+// the S side so cross-relation near-duplicates exist:
+//
+//	datagen -n 4800 -style dblp -seed 42 -out r.tsv
+//	datagen -n 5200 -style citeseer -seed 42 -overlap 0.5 -out s.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"fuzzyjoin/internal/datagen"
+	"fuzzyjoin/internal/records"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 5000, "records in the base (x1) corpus")
+		style   = flag.String("style", "dblp", "corpus style: dblp or citeseer")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		factor  = flag.Int("factor", 1, "apply the paper's xN increase method")
+		overlap = flag.Float64("overlap", 0, "fraction of records derived from a same-seed DBLP-like corpus (for the S side of an R-S join)")
+		baseN   = flag.Int("overlapBase", 4800, "size of the same-seed base corpus -overlap derives from")
+		start   = flag.Uint64("startRID", 1, "first RID")
+		out     = flag.String("out", "", "output file; defaults to stdout")
+	)
+	flag.Parse()
+
+	spec := datagen.Spec{Records: *n, Seed: *seed, StartRID: *start}
+	switch *style {
+	case "dblp":
+		spec.Style = datagen.DBLPLike
+	case "citeseer":
+		spec.Style = datagen.CiteseerLike
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown style %q\n", *style)
+		os.Exit(2)
+	}
+
+	var recs []records.Record
+	if *overlap > 0 {
+		base := datagen.Generate(datagen.Spec{Records: *baseN, Seed: *seed, Style: datagen.DBLPLike})
+		if spec.StartRID == 1 {
+			spec.StartRID = uint64(*baseN) * 100
+		}
+		recs = datagen.GenerateOverlapping(base, spec, *overlap)
+	} else {
+		recs = datagen.Generate(spec)
+	}
+	recs = datagen.Increase(recs, *factor)
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	for _, r := range recs {
+		fmt.Fprintln(w, r.Line())
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d records (%s, avg %d B)\n",
+		len(recs), spec.Style, datagen.AvgRecordBytes(recs))
+}

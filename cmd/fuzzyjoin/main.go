@@ -1,0 +1,172 @@
+// Command fuzzyjoin runs an end-to-end set-similarity join over record
+// files on the local file system (tab-separated lines: RID, title,
+// authors, rest — see internal/records).
+//
+// Self-join:
+//
+//	fuzzyjoin -in pubs.tsv -out pairs.txt
+//
+// R-S join (R should be the smaller relation):
+//
+//	fuzzyjoin -in dblp.tsv -in2 citeseer.tsv -out pairs.txt
+//
+// Flags select the per-stage algorithms the paper studies; the default
+// BTO-PK-BRJ is the combination the paper recommends as robust and
+// scalable.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fuzzyjoin"
+	"fuzzyjoin/internal/core"
+	"fuzzyjoin/internal/simfn"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input record file (required)")
+		in2    = flag.String("in2", "", "second input for an R-S join (optional)")
+		out    = flag.String("out", "", "output file; defaults to stdout")
+		tau    = flag.Float64("tau", 0.8, "similarity threshold")
+		fnName = flag.String("fn", "jaccard", "similarity function: jaccard, cosine, dice")
+		s1     = flag.String("stage1", "BTO", "token ordering: BTO or OPTO")
+		s2     = flag.String("stage2", "PK", "kernel: BK or PK")
+		s3     = flag.String("stage3", "BRJ", "record join: BRJ or OPRJ")
+		red    = flag.Int("reducers", 8, "reduce tasks per job")
+		par    = flag.Int("par", 4, "host parallelism")
+		stats  = flag.Bool("stats", false, "print per-stage statistics to stderr")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg, err := buildConfig(*tau, *fnName, *s1, *s2, *s3, *red, *par)
+	if err != nil {
+		fatal(err)
+	}
+
+	fs := fuzzyjoin.NewFS(1)
+	cfg.FS, cfg.Work = fs, "job"
+	if err := loadFile(fs, "R", *in); err != nil {
+		fatal(err)
+	}
+
+	var res *fuzzyjoin.Result
+	if *in2 == "" {
+		res, err = fuzzyjoin.SelfJoin(cfg, "R")
+	} else {
+		if err := loadFile(fs, "S", *in2); err != nil {
+			fatal(err)
+		}
+		res, err = fuzzyjoin.RSJoin(cfg, "R", "S")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	pairs, err := fuzzyjoin.ReadJoinedPairs(fs, res.Output)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	for _, p := range pairs {
+		fmt.Fprintf(w, "%.6f\t%d\t%d\t%s\t%s\n", p.Sim, p.Left.RID, p.Right.RID,
+			p.Left.JoinAttr(fuzzyjoin.FieldTitle, fuzzyjoin.FieldAuthors),
+			p.Right.JoinAttr(fuzzyjoin.FieldTitle, fuzzyjoin.FieldAuthors))
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "joined pairs: %d\n", res.Pairs)
+		for _, st := range res.Stages {
+			fmt.Fprintf(os.Stderr, "stage %d (%s): %d job(s), wall %v\n",
+				st.Stage, st.Alg, len(st.Jobs), st.Wall.Round(1e6))
+			for _, job := range st.Jobs {
+				fmt.Fprint(os.Stderr, job.Report())
+			}
+		}
+	}
+}
+
+func buildConfig(tau float64, fnName, s1, s2, s3 string, reducers, par int) (fuzzyjoin.Config, error) {
+	var cfg fuzzyjoin.Config
+	fn, err := simfn.ParseFunc(fnName)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Fn, cfg.Threshold = fn, tau
+	cfg.NumReducers, cfg.Parallelism = reducers, par
+	switch strings.ToUpper(s1) {
+	case "BTO":
+		cfg.TokenOrder = core.BTO
+	case "OPTO":
+		cfg.TokenOrder = core.OPTO
+	default:
+		return cfg, fmt.Errorf("unknown stage1 algorithm %q", s1)
+	}
+	switch strings.ToUpper(s2) {
+	case "BK":
+		cfg.Kernel = core.BK
+	case "PK":
+		cfg.Kernel = core.PK
+	default:
+		return cfg, fmt.Errorf("unknown stage2 algorithm %q", s2)
+	}
+	switch strings.ToUpper(s3) {
+	case "BRJ":
+		cfg.RecordJoin = core.BRJ
+	case "OPRJ":
+		cfg.RecordJoin = core.OPRJ
+	default:
+		return cfg, fmt.Errorf("unknown stage3 algorithm %q", s3)
+	}
+	return cfg, nil
+}
+
+// loadFile copies a local text file of record lines into the DFS.
+func loadFile(fs *fuzzyjoin.FS, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		w.Append(append([]byte(line), '\n'))
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fuzzyjoin:", err)
+	os.Exit(1)
+}

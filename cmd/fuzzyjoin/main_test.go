@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fuzzyjoin"
+	"fuzzyjoin/internal/core"
+	"fuzzyjoin/internal/simfn"
+)
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig(0.7, "cosine", "opto", "pk", "oprj", 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fn != simfn.Cosine || cfg.Threshold != 0.7 {
+		t.Fatalf("fn/threshold = %v/%v", cfg.Fn, cfg.Threshold)
+	}
+	if cfg.TokenOrder != core.OPTO || cfg.Kernel != core.PK || cfg.RecordJoin != core.OPRJ {
+		t.Fatalf("algs = %v %v %v", cfg.TokenOrder, cfg.Kernel, cfg.RecordJoin)
+	}
+	if cfg.NumReducers != 6 || cfg.Parallelism != 2 {
+		t.Fatalf("reducers/par = %d/%d", cfg.NumReducers, cfg.Parallelism)
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	cases := [][3]string{
+		{"XTO", "PK", "BRJ"},
+		{"BTO", "XX", "BRJ"},
+		{"BTO", "PK", "XX"},
+	}
+	for _, c := range cases {
+		if _, err := buildConfig(0.8, "jaccard", c[0], c[1], c[2], 4, 1); err == nil {
+			t.Fatalf("buildConfig accepted %v", c)
+		}
+	}
+	if _, err := buildConfig(0.8, "euclid", "BTO", "PK", "BRJ", 4, 1); err == nil {
+		t.Fatal("buildConfig accepted unknown similarity function")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recs.tsv")
+	content := "1\ttitle one\tauthor\trest\n\n2\ttitle two\tauthor\trest\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := fuzzyjoin.NewFS(1)
+	if err := loadFile(fs, "in", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadAll("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "1\ttitle one\tauthor\trest\n2\ttitle two\tauthor\trest\n"
+	if string(data) != want {
+		t.Fatalf("loaded %q, want %q (blank line dropped)", data, want)
+	}
+	if err := loadFile(fs, "missing", filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("loadFile accepted missing path")
+	}
+}
+
+// TestEndToEndViaCLIHelpers drives the same path main takes, minus
+// flag parsing and stdout.
+func TestEndToEndViaCLIHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pubs.tsv")
+	content := "1\tparallel set similarity joins\tvernica carey li\t\n" +
+		"2\tparallel set similarity joins\tvernica carey li\t\n" +
+		"3\tsomething else entirely different\tnobody\t\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildConfig(0.8, "jaccard", "BTO", "PK", "BRJ", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fuzzyjoin.NewFS(1)
+	cfg.FS, cfg.Work = fs, "job"
+	if err := loadFile(fs, "R", path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fuzzyjoin.SelfJoin(cfg, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := fuzzyjoin.ReadJoinedPairs(fs, res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Left.RID != 1 || pairs[0].Right.RID != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}

@@ -1,0 +1,130 @@
+// Command ssjexp runs the paper-reproduction experiment suite and prints
+// every table and figure of the evaluation (§6) plus the ablations
+// DESIGN.md calls out. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	ssjexp [-base N] [-baseS N] [-seed S] [-tau T] [-par P] [-mem BYTES] [-only LIST]
+//
+// -only selects a comma-separated subset of experiment names (fig8, fig9,
+// table1, fig11, table2, fig12, fig13, fig14, groups, skew, blocks,
+// filters, kernels, routing, combiner, singlestage, engine, tau).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fuzzyjoin/internal/experiments"
+)
+
+func main() {
+	var (
+		svgDir = flag.String("svg", "", "also write the figure-shaped results as SVG files into this directory")
+		base   = flag.Int("base", 0, "x1 DBLP-like corpus size (default 1200)")
+		baseS  = flag.Int("baseS", 0, "x1 CITESEERX-like corpus size (default 1300)")
+		seed   = flag.Int64("seed", 0, "generation seed (default 42)")
+		tau    = flag.Float64("tau", 0, "similarity threshold (default 0.8)")
+		par    = flag.Int("par", 0, "host parallelism (default 1; higher is faster but noisier task costs)")
+		mem    = flag.Int64("mem", -1, "per-task memory budget in bytes (default 1 MiB; 0 disables)")
+		only   = flag.String("only", "", "comma-separated experiment subset")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	if *base > 0 {
+		p.BaseRecords = *base
+	}
+	if *baseS > 0 {
+		p.BaseRecordsS = *baseS
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *tau > 0 {
+		p.Threshold = *tau
+	}
+	if *par > 0 {
+		p.Parallelism = *par
+	}
+	if *mem >= 0 {
+		p.MemoryPerTask = *mem
+	}
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*only, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	fmt.Printf("fuzzyjoin experiment suite — base DBLP-like %d recs, CITESEERX-like %d recs, seed %d, tau %.2f\n",
+		p.BaseRecords, p.BaseRecordsS, p.Seed, p.Threshold)
+	fmt.Printf("cluster model: 4 map + 4 reduce slots/node; per-task memory budget %d bytes\n\n", p.MemoryPerTask)
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ssjexp:", err)
+			os.Exit(1)
+		}
+	}
+	writeSVG := func(name, svg string) {
+		if *svgDir == "" || svg == "" {
+			return
+		}
+		path := filepath.Join(*svgDir, name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ssjexp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+
+	s := experiments.NewSuite(p)
+	type renderer interface{ Render() string }
+	type svger interface{ SVG() string }
+	run := func(name string, fn func() (renderer, error)) {
+		if !selected(name) {
+			return
+		}
+		start := time.Now()
+		r, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+		if sv, ok := r.(svger); ok {
+			writeSVG(name, sv.SVG())
+		}
+		if sp, ok := r.(*experiments.SpeedupResult); ok {
+			writeSVG(name+"-relative", sp.RelativeSVG())
+		}
+		fmt.Printf("[%s ran in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig8", func() (renderer, error) { return s.Fig8() })
+	run("fig9", func() (renderer, error) { return s.Fig9() })
+	run("table1", func() (renderer, error) { return s.Table1() })
+	run("fig11", func() (renderer, error) { return s.Fig11() })
+	run("table2", func() (renderer, error) { return s.Table2() })
+	run("fig12", func() (renderer, error) { return s.Fig12() })
+	run("fig13", func() (renderer, error) { return s.Fig13() })
+	run("fig14", func() (renderer, error) { return s.Fig14() })
+	run("groups", func() (renderer, error) { return s.GroupAblation() })
+	run("skew", func() (renderer, error) { return s.SkewStats() })
+	run("blocks", func() (renderer, error) { return s.BlockProcessing() })
+	run("filters", func() (renderer, error) { return s.FilterAblation() })
+	run("kernels", func() (renderer, error) { return s.KernelStats() })
+	run("routing", func() (renderer, error) { return s.RoutingAblation() })
+	run("combiner", func() (renderer, error) { return s.CombinerAblation() })
+	run("singlestage", func() (renderer, error) { return s.SingleStage() })
+	run("engine", func() (renderer, error) { return s.EngineAblation() })
+	run("tau", func() (renderer, error) { return s.ThresholdSweep() })
+}

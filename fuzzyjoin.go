@@ -1,0 +1,206 @@
+// Package fuzzyjoin is a parallel set-similarity join library — a Go
+// reproduction of "Efficient Parallel Set-Similarity Joins Using
+// MapReduce" (Vernica, Carey, Li — SIGMOD 2010), named after the authors'
+// released system.
+//
+// The library answers self-join and R-S join queries end-to-end: given
+// files of complete records it produces complete pairs of records whose
+// join attributes are set-similar (Jaccard, cosine, or dice) at or above
+// a threshold. Processing runs as three MapReduce stages on the bundled
+// runtime (see internal/mapreduce): token ordering (BTO/OPTO), RID-pair
+// generation with prefix filtering (BK/PK kernels), and record join
+// (BRJ/OPRJ), with §5 block-processing strategies for reduce groups that
+// exceed memory.
+//
+// # Quick start
+//
+//	fs := fuzzyjoin.NewFS(4)
+//	fuzzyjoin.WriteRecords(fs, "pubs", recs)
+//	res, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{FS: fs, Work: "job1"}, "pubs")
+//	if err != nil { ... }
+//	pairs, err := fuzzyjoin.ReadJoinedPairs(fs, res.Output)
+//
+// Or, for small in-memory workloads, skip the file system entirely:
+//
+//	pairs, err := fuzzyjoin.SelfJoinRecords(recs, fuzzyjoin.Config{})
+//
+// The zero Config runs the paper's recommended configuration: word
+// tokens over title+authors, Jaccard at τ = 0.80, BTO-BK-BRJ with the
+// full PPJoin+ filter stack. Set Kernel: fuzzyjoin.PK and RecordJoin:
+// fuzzyjoin.OPRJ for the fastest combination the paper measured
+// (BTO-PK-OPRJ), or keep BRJ for the most scalable one (BTO-PK-BRJ).
+package fuzzyjoin
+
+import (
+	"fmt"
+
+	"fuzzyjoin/internal/core"
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/editdist"
+	"fuzzyjoin/internal/mapreduce"
+	"fuzzyjoin/internal/records"
+	"fuzzyjoin/internal/simfn"
+)
+
+// Core configuration and result types.
+type (
+	// Config configures an end-to-end join; see the field docs in
+	// internal/core.
+	Config = core.Config
+	// Result describes a completed join: output location, per-stage
+	// metrics, and the pair count.
+	Result = core.Result
+	// Record is one input record: a unique RID plus fields.
+	Record = records.Record
+	// JoinedPair is one output pair: two records and their similarity.
+	JoinedPair = records.JoinedPair
+	// RIDPair is a Stage 2 result (two RIDs and their similarity).
+	RIDPair = records.RIDPair
+	// FS is the simulated distributed file system joins run on.
+	FS = dfs.FS
+)
+
+// Stage algorithm choices (see the paper's §3).
+const (
+	// BTO / OPTO select the Stage 1 token-ordering algorithm.
+	BTO  = core.BTO
+	OPTO = core.OPTO
+	// BK / PK select the Stage 2 kernel.
+	BK = core.BK
+	PK = core.PK
+	// BRJ / OPRJ select the Stage 3 record join.
+	BRJ  = core.BRJ
+	OPRJ = core.OPRJ
+	// IndividualTokens / GroupedTokens select Stage 2 routing.
+	IndividualTokens = core.IndividualTokens
+	GroupedTokens    = core.GroupedTokens
+	// NoBlocks / MapBlocks / ReduceBlocks select §5 block processing.
+	NoBlocks     = core.NoBlocks
+	MapBlocks    = core.MapBlocks
+	ReduceBlocks = core.ReduceBlocks
+)
+
+// Similarity functions.
+const (
+	Jaccard = simfn.Jaccard
+	Cosine  = simfn.Cosine
+	Dice    = simfn.Dice
+)
+
+// Record field indices for the bibliographic record layout.
+const (
+	FieldTitle   = records.FieldTitle
+	FieldAuthors = records.FieldAuthors
+	FieldRest    = records.FieldRest
+)
+
+// NewFS creates a distributed file system spread over the given number of
+// virtual nodes.
+func NewFS(nodes int) *FS {
+	return dfs.New(dfs.Options{Nodes: nodes})
+}
+
+// WriteRecords stores records as a Text-format DFS file joins can read.
+func WriteRecords(fs *FS, name string, recs []Record) error {
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = r.Line()
+	}
+	return mapreduce.WriteTextFile(fs, name, lines)
+}
+
+// ReadJoinedPairs parses a join's final output (Result.Output).
+func ReadJoinedPairs(fs *FS, outputPrefix string) ([]JoinedPair, error) {
+	lines, err := mapreduce.ReadLines(fs, outputPrefix+"/")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JoinedPair, 0, len(lines))
+	for _, l := range lines {
+		if l == "" {
+			continue
+		}
+		jp, err := records.ParseJoinedPair(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, jp)
+	}
+	return out, nil
+}
+
+// SelfJoin joins a record file with itself; see core.SelfJoin.
+func SelfJoin(cfg Config, input string) (*Result, error) {
+	return core.SelfJoin(cfg, input)
+}
+
+// RSJoin joins two record files; inputR should be the smaller relation
+// (Stage 1 builds the token dictionary from it). See core.RSJoin.
+func RSJoin(cfg Config, inputR, inputS string) (*Result, error) {
+	return core.RSJoin(cfg, inputR, inputS)
+}
+
+// SelfJoinRecords is the in-memory convenience wrapper: it provisions a
+// single-node FS, runs the full pipeline, and returns the joined pairs.
+// cfg.FS and cfg.Work are managed by the wrapper and must be unset.
+func SelfJoinRecords(recs []Record, cfg Config) ([]JoinedPair, error) {
+	fs, err := stageRecords(cfg, "r", recs)
+	if err != nil {
+		return nil, err
+	}
+	cfg.FS, cfg.Work = fs, "work"
+	res, err := core.SelfJoin(cfg, "r")
+	if err != nil {
+		return nil, err
+	}
+	return ReadJoinedPairs(fs, res.Output)
+}
+
+// RSJoinRecords is the in-memory convenience wrapper for R-S joins.
+func RSJoinRecords(r, s []Record, cfg Config) ([]JoinedPair, error) {
+	fs, err := stageRecords(cfg, "r", r)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteRecords(fs, "s", s); err != nil {
+		return nil, err
+	}
+	cfg.FS, cfg.Work = fs, "work"
+	res, err := core.RSJoin(cfg, "r", "s")
+	if err != nil {
+		return nil, err
+	}
+	return ReadJoinedPairs(fs, res.Output)
+}
+
+func stageRecords(cfg Config, name string, recs []Record) (*FS, error) {
+	if cfg.FS != nil || cfg.Work != "" {
+		return nil, fmt.Errorf("fuzzyjoin: the Records wrappers manage FS and Work; leave them unset")
+	}
+	fs := NewFS(1)
+	if err := WriteRecords(fs, name, recs); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Edit-distance joins (the application the paper's footnote 1 points at).
+type (
+	// EditDistanceOptions configures an edit-distance join (threshold K,
+	// q-gram length Q).
+	EditDistanceOptions = editdist.Options
+	// EditDistancePair is one edit-distance join result: indices into
+	// the input slice and the exact distance.
+	EditDistancePair = editdist.Pair
+)
+
+// EditDistance returns the exact Levenshtein distance between two
+// strings.
+func EditDistance(a, b string) int { return editdist.Distance(a, b) }
+
+// EditDistanceSelfJoin finds all string pairs within edit distance
+// opts.K, using q-gram count filtering, prefix filtering, and banded
+// verification.
+func EditDistanceSelfJoin(strs []string, opts EditDistanceOptions) []EditDistancePair {
+	return editdist.SelfJoin(strs, opts)
+}

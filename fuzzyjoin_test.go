@@ -1,0 +1,112 @@
+package fuzzyjoin_test
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzyjoin"
+)
+
+func pubs() []fuzzyjoin.Record {
+	mk := func(rid uint64, title, authors string) fuzzyjoin.Record {
+		return fuzzyjoin.Record{RID: rid, Fields: []string{title, authors, "rest"}}
+	}
+	return []fuzzyjoin.Record{
+		mk(1, "Efficient Parallel Set-Similarity Joins Using MapReduce", "Vernica Carey Li"),
+		mk(2, "Efficient Parallel Set Similarity Joins Using MapReduce", "Vernica Carey Li"),
+		mk(3, "A Comparison of Approaches to Large-Scale Data Analysis", "Pavlo Paulson Rasin"),
+		mk(4, "Comparison of Approaches to Large-Scale Data Analysis", "Pavlo Paulson Rasin"),
+		mk(5, "Completely Unrelated Quantum Chromodynamics Lattice Study", "Nobody Here"),
+	}
+}
+
+func TestSelfJoinRecords(t *testing.T) {
+	pairs, err := fuzzyjoin.SelfJoinRecords(pubs(), fuzzyjoin.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2 (the two near-duplicate clusters): %v", len(pairs), pairs)
+	}
+	for _, p := range pairs {
+		if p.Sim < 0.8 {
+			t.Fatalf("pair below threshold: %+v", p)
+		}
+		if p.Left.RID >= p.Right.RID {
+			t.Fatalf("self-join pair not ordered: %+v", p)
+		}
+	}
+}
+
+func TestSelfJoinRecordsFastCombo(t *testing.T) {
+	cfg := fuzzyjoin.Config{Kernel: fuzzyjoin.PK, RecordJoin: fuzzyjoin.OPRJ, TokenOrder: fuzzyjoin.OPTO}
+	pairs, err := fuzzyjoin.SelfJoinRecords(pubs(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(pairs))
+	}
+}
+
+func TestRSJoinRecords(t *testing.T) {
+	r := pubs()[:3]
+	s := pubs()[2:]
+	for i := range s {
+		s[i].RID += 100
+	}
+	pairs, err := fuzzyjoin.RSJoinRecords(r, s, fuzzyjoin.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R record 3 ("A Comparison of...") matches S records 103 and 104.
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2: %v", len(pairs), pairs)
+	}
+	for _, p := range pairs {
+		if p.Left.RID != 3 {
+			t.Fatalf("left side is not the R record: %+v", p)
+		}
+	}
+}
+
+func TestFileBasedAPI(t *testing.T) {
+	fs := fuzzyjoin.NewFS(4)
+	if err := fuzzyjoin.WriteRecords(fs, "pubs", pubs()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{FS: fs, Work: "job1"}, "pubs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := fuzzyjoin.ReadJoinedPairs(fs, res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 || res.Pairs != 2 {
+		t.Fatalf("pairs = %d (result says %d), want 2", len(pairs), res.Pairs)
+	}
+	if res.TokenOrderFile == "" || res.RIDPairs == "" {
+		t.Fatalf("result metadata incomplete: %+v", res)
+	}
+}
+
+func TestRecordsWrappersRejectManagedFields(t *testing.T) {
+	if _, err := fuzzyjoin.SelfJoinRecords(pubs(), fuzzyjoin.Config{Work: "x"}); err == nil ||
+		!strings.Contains(err.Error(), "leave them unset") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEditDistanceFacade(t *testing.T) {
+	if d := fuzzyjoin.EditDistance("kitten", "sitting"); d != 3 {
+		t.Fatalf("EditDistance = %d", d)
+	}
+	pairs := fuzzyjoin.EditDistanceSelfJoin(
+		[]string{"similarity", "similarly", "different"},
+		fuzzyjoin.EditDistanceOptions{K: 2},
+	)
+	if len(pairs) != 1 || pairs[0].I != 0 || pairs[0].J != 1 || pairs[0].Dist != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}

@@ -1,0 +1,3 @@
+module fuzzyjoin
+
+go 1.22

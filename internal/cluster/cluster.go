@@ -1,0 +1,279 @@
+// Package cluster models the virtual shared-nothing cluster the
+// experiments "run on" — the substitute for the paper's 10-node Hadoop
+// deployment.
+//
+// The MapReduce engine (internal/mapreduce) executes every task for real
+// on the host and records each task's measured cost and shuffle volume.
+// This package schedules those recorded tasks onto a virtual cluster of N
+// nodes with a fixed number of map and reduce slots per node (the paper
+// runs 4 map and 4 reduce tasks in parallel per node) and computes the
+// job makespan:
+//
+//	makespan = job overhead                    (job setup/startup)
+//	         + side-file broadcast time        (distributed cache fetch)
+//	         + LPT(map costs, N×mapSlots)      (map wave)
+//	         + LPT(reduce costs + per-reduce shuffle fetch, N×reduceSlots)
+//
+// LPT is longest-processing-time list scheduling, the behaviour of a slot
+// scheduler assigning queued tasks to free slots. The model intentionally
+// keeps the effects the paper's evaluation hinges on: single-reducer
+// stages don't speed up, per-task and per-job fixed overheads bound
+// speedup, broadcast cost stays constant as N grows, and reducer skew
+// stretches the reduce wave.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fuzzyjoin/internal/mapreduce"
+)
+
+// Spec describes a virtual cluster configuration.
+type Spec struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// MapSlotsPerNode and ReduceSlotsPerNode mirror the paper's Hadoop
+	// settings (4 and 4).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+	// NetBytesPerSec is per-node network bandwidth for shuffle fetches
+	// and side-file broadcast.
+	NetBytesPerSec float64
+	// JobOverhead is the fixed per-job cost (job submission, scheduling —
+	// the Hadoop job-startup analogue), scaled to the scaled-down
+	// datasets.
+	JobOverhead time.Duration
+	// TaskOverhead is the fixed per-task cost (task launch).
+	TaskOverhead time.Duration
+}
+
+// Default returns the specification used by all experiments: the paper's
+// slot configuration with overhead and bandwidth constants scaled to the
+// ~100×-smaller datasets (the paper's job startup is tens of seconds
+// against minutes of work; the same ratio holds here).
+func Default(nodes int) Spec {
+	return Spec{
+		Nodes:              nodes,
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 4,
+		NetBytesPerSec:     32 << 20, // 32 MB/s effective per node
+		// Hadoop's fixed costs (job submission ~10 s, task launch ~1 s)
+		// scaled so their share of a stage matches the paper's runs on
+		// the ~1000×-smaller workloads.
+		JobOverhead:  20 * time.Millisecond,
+		TaskOverhead: 2 * time.Millisecond,
+	}
+}
+
+// JobCost is the schedulable summary of one executed job.
+type JobCost struct {
+	// Name labels the job.
+	Name string
+	// MapCosts and ReduceCosts are the measured per-task execution times.
+	MapCosts    []time.Duration
+	ReduceCosts []time.Duration
+	// MapLocations lists, per map task, the nodes holding its input
+	// split; a non-local assignment pays a remote read of MapInputBytes.
+	// Empty slices disable the locality model for that task.
+	MapLocations  [][]int
+	MapInputBytes []int64
+	// ShufflePerReduce is the bytes each reduce task fetches.
+	ShufflePerReduce []int64
+	// SideBytes is the total broadcast (distributed-cache) volume each
+	// node must fetch once.
+	SideBytes int64
+}
+
+// FromMetrics summarizes engine metrics into a schedulable JobCost.
+func FromMetrics(m *mapreduce.Metrics) JobCost {
+	jc := JobCost{
+		Name:             m.Job,
+		MapCosts:         make([]time.Duration, len(m.MapTasks)),
+		ReduceCosts:      make([]time.Duration, len(m.ReduceTasks)),
+		MapLocations:     make([][]int, len(m.MapTasks)),
+		MapInputBytes:    make([]int64, len(m.MapTasks)),
+		ShufflePerReduce: m.ShufflePerReduce(),
+		SideBytes:        m.SideBytes,
+	}
+	for i, t := range m.MapTasks {
+		jc.MapCosts[i] = t.Cost
+		jc.MapLocations[i] = t.Locations
+		jc.MapInputBytes[i] = t.InputBytes
+	}
+	for i, t := range m.ReduceTasks {
+		jc.ReduceCosts[i] = t.Cost
+	}
+	return jc
+}
+
+// ScheduleStats reports how the map wave was placed.
+type ScheduleStats struct {
+	// LocalMaps and RemoteMaps count data-local vs remote map
+	// assignments (tasks with no recorded locations count as local:
+	// there is nothing to fetch).
+	LocalMaps, RemoteMaps int
+	// MapSpan is the map wave makespan.
+	MapSpan time.Duration
+}
+
+// scheduleMaps places map tasks LPT-style with locality preference, the
+// behaviour of Hadoop's scheduler: a task runs on a node holding its
+// split when that doesn't delay it beyond the cost of fetching the split
+// remotely; otherwise it runs anywhere and pays the remote read.
+func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
+	slots := s.Nodes * s.MapSlotsPerNode
+	if slots < 1 {
+		slots = 1
+	}
+	type task struct {
+		cost    time.Duration
+		penalty time.Duration
+		locs    []int
+	}
+	tasks := make([]task, len(jc.MapCosts))
+	for i, c := range jc.MapCosts {
+		t := task{cost: c + s.TaskOverhead}
+		if i < len(jc.MapLocations) && len(jc.MapLocations[i]) > 0 && s.NetBytesPerSec > 0 {
+			t.locs = jc.MapLocations[i]
+			if i < len(jc.MapInputBytes) {
+				t.penalty = time.Duration(float64(jc.MapInputBytes[i]) / s.NetBytesPerSec * float64(time.Second))
+			}
+		}
+		tasks[i] = t
+	}
+	// LPT order.
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].cost > tasks[j].cost })
+
+	loads := make([]time.Duration, slots)
+	var st ScheduleStats
+	nodeOf := func(slot int) int { return slot / s.MapSlotsPerNode }
+	for _, t := range tasks {
+		bestAny := 0
+		for sl := 1; sl < slots; sl++ {
+			if loads[sl] < loads[bestAny] {
+				bestAny = sl
+			}
+		}
+		if len(t.locs) == 0 {
+			loads[bestAny] += t.cost
+			st.LocalMaps++
+			continue
+		}
+		bestLocal := -1
+		for sl := 0; sl < slots; sl++ {
+			local := false
+			for _, n := range t.locs {
+				if nodeOf(sl) == n%s.Nodes {
+					local = true
+					break
+				}
+			}
+			if local && (bestLocal < 0 || loads[sl] < loads[bestLocal]) {
+				bestLocal = sl
+			}
+		}
+		// Prefer the local slot unless waiting for it costs more than the
+		// remote read.
+		if bestLocal >= 0 && loads[bestLocal] <= loads[bestAny]+t.penalty {
+			loads[bestLocal] += t.cost
+			st.LocalMaps++
+		} else {
+			loads[bestAny] += t.cost + t.penalty
+			st.RemoteMaps++
+		}
+	}
+	for _, l := range loads {
+		if l > st.MapSpan {
+			st.MapSpan = l
+		}
+	}
+	return st
+}
+
+// LPT schedules the given task durations onto `slots` identical slots,
+// longest first, each task to the currently least-loaded slot, and
+// returns the makespan.
+func LPT(tasks []time.Duration, slots int) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	sorted := append([]time.Duration(nil), tasks...)
+	// Insertion sort descending (task lists are short).
+	for i := 1; i < len(sorted); i++ {
+		v := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < v {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = v
+	}
+	loads := make([]time.Duration, slots)
+	for _, t := range sorted {
+		min := 0
+		for s := 1; s < slots; s++ {
+			if loads[s] < loads[min] {
+				min = s
+			}
+		}
+		loads[min] += t
+	}
+	var makespan time.Duration
+	for _, l := range loads {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return makespan
+}
+
+// Makespan computes the simulated wall-clock time of one job on the
+// cluster.
+func (s Spec) Makespan(jc JobCost) time.Duration {
+	if s.Nodes < 1 {
+		s.Nodes = 1
+	}
+	if s.MapSlotsPerNode < 1 {
+		s.MapSlotsPerNode = 1
+	}
+	mapSpan := s.scheduleMaps(jc).MapSpan
+
+	var broadcast time.Duration
+	if jc.SideBytes > 0 && s.NetBytesPerSec > 0 {
+		// Every node fetches the side files in parallel; the wall time is
+		// one node's fetch — constant in N, linear in the side data.
+		broadcast = time.Duration(float64(jc.SideBytes) / s.NetBytesPerSec * float64(time.Second))
+	}
+
+	reduceTasks := make([]time.Duration, len(jc.ReduceCosts))
+	for i, c := range jc.ReduceCosts {
+		fetch := time.Duration(0)
+		if i < len(jc.ShufflePerReduce) && s.NetBytesPerSec > 0 {
+			fetch = time.Duration(float64(jc.ShufflePerReduce[i]) / s.NetBytesPerSec * float64(time.Second))
+		}
+		reduceTasks[i] = c + fetch + s.TaskOverhead
+	}
+	reduceSpan := LPT(reduceTasks, s.Nodes*s.ReduceSlotsPerNode)
+
+	return s.JobOverhead + broadcast + mapSpan + reduceSpan
+}
+
+// FlowMakespan sums the makespans of a sequence of dependent jobs (the
+// stages run one after another).
+func (s Spec) FlowMakespan(jobs []JobCost) time.Duration {
+	var total time.Duration
+	for _, j := range jobs {
+		total += s.Makespan(j)
+	}
+	return total
+}
+
+// String renders the spec compactly for experiment logs.
+func (s Spec) String() string {
+	return fmt.Sprintf("%d nodes × (%dM+%dR slots)", s.Nodes, s.MapSlotsPerNode, s.ReduceSlotsPerNode)
+}

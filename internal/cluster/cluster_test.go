@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fuzzyjoin/internal/mapreduce"
+)
+
+func TestLPTBasics(t *testing.T) {
+	if got := LPT(nil, 4); got != 0 {
+		t.Fatalf("LPT(empty) = %v", got)
+	}
+	// One slot: makespan is the sum.
+	tasks := []time.Duration{3, 1, 2}
+	if got := LPT(tasks, 1); got != 6 {
+		t.Fatalf("LPT(1 slot) = %v, want 6", got)
+	}
+	// Enough slots: makespan is the max.
+	if got := LPT(tasks, 3); got != 3 {
+		t.Fatalf("LPT(3 slots) = %v, want 3", got)
+	}
+	// Classic LPT behaviour: tasks 5,4,3,3,3 on 2 slots. LPT assigns
+	// 5→A, 4→B, 3→B, 3→A, 3→B giving makespan 10 (the optimum is 9;
+	// LPT is a 4/3-approximation, like Hadoop's greedy slot scheduler).
+	if got := LPT([]time.Duration{5, 4, 3, 3, 3}, 2); got != 10 {
+		t.Fatalf("LPT = %v, want 10", got)
+	}
+	// slots < 1 treated as 1.
+	if got := LPT(tasks, 0); got != 6 {
+		t.Fatalf("LPT(0 slots) = %v, want 6", got)
+	}
+}
+
+// TestLPTBounds: for any task set, max(task) ≤ makespan ≤ sum(task), and
+// makespan ≥ sum/slots (work conservation).
+func TestLPTBounds(t *testing.T) {
+	f := func(raw []uint16, slots8 uint8) bool {
+		slots := int(slots8%16) + 1
+		tasks := make([]time.Duration, len(raw))
+		var sum, max time.Duration
+		for i, v := range raw {
+			tasks[i] = time.Duration(v)
+			sum += tasks[i]
+			if tasks[i] > max {
+				max = tasks[i]
+			}
+		}
+		got := LPT(tasks, slots)
+		if len(tasks) == 0 {
+			return got == 0
+		}
+		lower := sum / time.Duration(slots)
+		return got >= max && got <= sum && got >= lower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLPTMonotonicInSlots: more slots never increases the makespan for
+// the same task set... LPT is not strictly monotone in general, but it is
+// for the bound max(max_task, ceil-ish sum/slots) it tracks; verify
+// non-increase on random inputs as a regression guard.
+func TestLPTMoreSlotsHelps(t *testing.T) {
+	tasks := []time.Duration{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	prev := LPT(tasks, 1)
+	for slots := 2; slots <= 9; slots++ {
+		cur := LPT(tasks, slots)
+		if cur > prev {
+			t.Fatalf("makespan grew from %v to %v at %d slots", prev, cur, slots)
+		}
+		prev = cur
+	}
+}
+
+func TestMakespanComponents(t *testing.T) {
+	s := Spec{
+		Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2,
+		NetBytesPerSec: 1 << 20, // 1 MB/s
+		JobOverhead:    100 * time.Millisecond,
+		TaskOverhead:   10 * time.Millisecond,
+	}
+	jc := JobCost{
+		MapCosts:         []time.Duration{40 * time.Millisecond},
+		ReduceCosts:      []time.Duration{30 * time.Millisecond},
+		ShufflePerReduce: []int64{1 << 20}, // 1 MB → 1 s fetch
+		SideBytes:        2 << 20,          // 2 MB → 2 s broadcast
+	}
+	got := s.Makespan(jc)
+	want := 100*time.Millisecond + // job overhead
+		2*time.Second + // broadcast
+		50*time.Millisecond + // map wave (40+10)
+		30*time.Millisecond + 10*time.Millisecond + time.Second // reduce + fetch
+	if got != want {
+		t.Fatalf("Makespan = %v, want %v", got, want)
+	}
+}
+
+func TestMakespanNoNetwork(t *testing.T) {
+	s := Spec{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1}
+	jc := JobCost{
+		MapCosts:         []time.Duration{time.Second},
+		ReduceCosts:      []time.Duration{time.Second},
+		ShufflePerReduce: []int64{1 << 30},
+		SideBytes:        1 << 30,
+	}
+	if got := s.Makespan(jc); got != 2*time.Second {
+		t.Fatalf("Makespan with zero bandwidth = %v, want 2s (network free)", got)
+	}
+}
+
+// TestSpeedupShape: a parallel-friendly job (many equal map tasks, no
+// single-reducer bottleneck) speeds up with nodes, sublinearly because of
+// fixed overheads.
+func TestSpeedupShape(t *testing.T) {
+	mapCosts := make([]time.Duration, 80)
+	for i := range mapCosts {
+		mapCosts[i] = 100 * time.Millisecond
+	}
+	redCosts := make([]time.Duration, 40)
+	shuffle := make([]int64, 40)
+	for i := range redCosts {
+		redCosts[i] = 50 * time.Millisecond
+		shuffle[i] = 1 << 16
+	}
+	jc := JobCost{MapCosts: mapCosts, ReduceCosts: redCosts, ShufflePerReduce: shuffle}
+	t2 := Default(2).Makespan(jc)
+	t10 := Default(10).Makespan(jc)
+	if t10 >= t2 {
+		t.Fatalf("no speedup: t2=%v t10=%v", t2, t10)
+	}
+	speedup := float64(t2) / float64(t10)
+	if speedup < 2 || speedup > 5 {
+		t.Fatalf("speedup %0.2f outside plausible sublinear range (ideal 5)", speedup)
+	}
+}
+
+// TestSingleReducerBottleneck: a job whose reduce work is one giant task
+// stops speeding up — the OPTO/BTO-sort effect.
+func TestSingleReducerBottleneck(t *testing.T) {
+	jc := JobCost{
+		MapCosts:    []time.Duration{10 * time.Millisecond, 10 * time.Millisecond},
+		ReduceCosts: []time.Duration{2 * time.Second},
+	}
+	t2 := Default(2).Makespan(jc)
+	t10 := Default(10).Makespan(jc)
+	if float64(t2)/float64(t10) > 1.05 {
+		t.Fatalf("single-reducer job sped up: t2=%v t10=%v", t2, t10)
+	}
+}
+
+// TestBroadcastConstantInN: side-file fetch time does not shrink with
+// cluster size — the OPRJ speedup cap.
+func TestBroadcastConstantInN(t *testing.T) {
+	jc := JobCost{SideBytes: 64 << 20, MapCosts: []time.Duration{time.Millisecond}}
+	d2 := Default(2).Makespan(jc)
+	d10 := Default(10).Makespan(jc)
+	if d2 != d10 {
+		t.Fatalf("broadcast time changed with N: %v vs %v", d2, d10)
+	}
+}
+
+func TestFromMetrics(t *testing.T) {
+	m := &mapreduce.Metrics{
+		Job: "j",
+		MapTasks: []mapreduce.TaskMetrics{
+			{Cost: time.Second, PartitionBytes: []int64{10, 20}},
+			{Cost: 2 * time.Second, PartitionBytes: []int64{5, 15}},
+		},
+		ReduceTasks: []mapreduce.TaskMetrics{{Cost: 3 * time.Second}, {Cost: time.Second}},
+		SideBytes:   99,
+	}
+	jc := FromMetrics(m)
+	if jc.Name != "j" || len(jc.MapCosts) != 2 || len(jc.ReduceCosts) != 2 {
+		t.Fatalf("jc = %+v", jc)
+	}
+	if jc.SideBytes != 99 {
+		t.Fatalf("SideBytes = %d", jc.SideBytes)
+	}
+	if jc.ShufflePerReduce[0] != 15 || jc.ShufflePerReduce[1] != 35 {
+		t.Fatalf("ShufflePerReduce = %v", jc.ShufflePerReduce)
+	}
+}
+
+func TestFlowMakespan(t *testing.T) {
+	s := Default(4)
+	a := JobCost{MapCosts: []time.Duration{time.Second}}
+	b := JobCost{MapCosts: []time.Duration{2 * time.Second}}
+	if got, want := s.FlowMakespan([]JobCost{a, b}), s.Makespan(a)+s.Makespan(b); got != want {
+		t.Fatalf("FlowMakespan = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := Default(10)
+	if s.Nodes != 10 || s.MapSlotsPerNode != 4 || s.ReduceSlotsPerNode != 4 {
+		t.Fatalf("Default = %+v", s)
+	}
+	if s.String() != "10 nodes × (4M+4R slots)" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+// TestSkewStretchesReduceWave: one hot reducer dominates the reduce wave —
+// the Stage 3 BRJ skew effect the paper reports.
+func TestSkewStretchesReduceWave(t *testing.T) {
+	even := make([]time.Duration, 8)
+	skewed := make([]time.Duration, 8)
+	var total time.Duration
+	for i := range even {
+		even[i] = 100 * time.Millisecond
+		total += even[i]
+	}
+	skewed[0] = total - 7*10*time.Millisecond
+	for i := 1; i < 8; i++ {
+		skewed[i] = 10 * time.Millisecond
+	}
+	s := Default(8)
+	je := JobCost{ReduceCosts: even}
+	js := JobCost{ReduceCosts: skewed}
+	if s.Makespan(js) <= s.Makespan(je) {
+		t.Fatal("skewed reduce wave was not slower than even wave")
+	}
+	sort.SliceIsSorted(skewed, func(i, j int) bool { return skewed[i] > skewed[j] })
+}
+
+func TestLocalitySchedulingPrefersReplicaNodes(t *testing.T) {
+	s := Default(4)
+	// 16 equal tasks, each local to exactly one node, spread evenly: a
+	// locality-aware schedule places every task locally.
+	jc := JobCost{}
+	for i := 0; i < 16; i++ {
+		jc.MapCosts = append(jc.MapCosts, 100*time.Millisecond)
+		jc.MapLocations = append(jc.MapLocations, []int{i % 4})
+		jc.MapInputBytes = append(jc.MapInputBytes, 32<<20) // 1 s remote read
+	}
+	st := s.scheduleMaps(jc)
+	if st.RemoteMaps != 0 {
+		t.Fatalf("remote maps = %d, want 0 (%+v)", st.RemoteMaps, st)
+	}
+	if st.LocalMaps != 16 {
+		t.Fatalf("local maps = %d", st.LocalMaps)
+	}
+}
+
+func TestLocalityPenaltyChargedWhenForcedRemote(t *testing.T) {
+	// All tasks local to node 0 only: its 4 slots saturate and the
+	// scheduler must weigh waiting against fetching remotely.
+	s := Default(4)
+	jc := JobCost{}
+	for i := 0; i < 16; i++ {
+		jc.MapCosts = append(jc.MapCosts, 100*time.Millisecond)
+		jc.MapLocations = append(jc.MapLocations, []int{0})
+		jc.MapInputBytes = append(jc.MapInputBytes, 320<<10) // 10 ms remote read
+	}
+	st := s.scheduleMaps(jc)
+	if st.RemoteMaps == 0 {
+		t.Fatal("expected some remote maps when one node holds all splits")
+	}
+	// With the penalty tiny relative to task cost, spreading beats
+	// queueing on node 0: makespan well under the 4-wave local-only time.
+	if st.MapSpan >= 400*time.Millisecond {
+		t.Fatalf("map span = %v, scheduler refused cheap remote reads", st.MapSpan)
+	}
+}
+
+func TestLocalityHotNodeQueuesWhenRemoteIsDear(t *testing.T) {
+	s := Default(4)
+	jc := JobCost{}
+	for i := 0; i < 8; i++ {
+		jc.MapCosts = append(jc.MapCosts, 10*time.Millisecond)
+		jc.MapLocations = append(jc.MapLocations, []int{0})
+		jc.MapInputBytes = append(jc.MapInputBytes, 32<<20) // 1 s remote read
+	}
+	st := s.scheduleMaps(jc)
+	// Remote read (1 s) dwarfs queueing (2 waves × 10 ms): everything
+	// stays local on node 0.
+	if st.RemoteMaps != 0 {
+		t.Fatalf("remote maps = %d, want 0 when remote reads are dear", st.RemoteMaps)
+	}
+	if st.MapSpan != 20*time.Millisecond+2*s.TaskOverhead {
+		t.Fatalf("map span = %v", st.MapSpan)
+	}
+}
+
+func TestNoLocationsBehavesAsBefore(t *testing.T) {
+	s := Default(2)
+	tasks := []time.Duration{30 * time.Millisecond, 20 * time.Millisecond, 10 * time.Millisecond}
+	jc := JobCost{MapCosts: tasks}
+	withOverhead := make([]time.Duration, len(tasks))
+	for i, c := range tasks {
+		withOverhead[i] = c + s.TaskOverhead
+	}
+	if got, want := s.scheduleMaps(jc).MapSpan, LPT(withOverhead, 8); got != want {
+		t.Fatalf("span without locations = %v, want plain LPT %v", got, want)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/mapreduce"
+)
+
+// Per-stage micro-benchmarks over a realistic clustered corpus, one per
+// stage algorithm (the ssjexp harness measures these at full scale; these
+// track regressions).
+
+func benchCorpus(b *testing.B, n int) (*dfs.FS, []string) {
+	b.Helper()
+	lines := makeLines(77, n, 1)
+	fs := dfs.New(dfs.Options{BlockSize: 8 << 10, Nodes: 4})
+	if err := mapreduce.WriteTextFile(fs, "in", lines); err != nil {
+		b.Fatal(err)
+	}
+	return fs, lines
+}
+
+func benchStage1(b *testing.B, alg TokenOrderAlg) {
+	fs, _ := benchCorpus(b, 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{FS: fs, Work: fmt.Sprintf("w%d", i), TokenOrder: alg,
+			NumReducers: 4, Parallelism: 4}
+		if _, _, err := Stage1(cfg, "in"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStage1BTO(b *testing.B)  { benchStage1(b, BTO) }
+func BenchmarkStage1OPTO(b *testing.B) { benchStage1(b, OPTO) }
+
+func benchStage2(b *testing.B, kernel KernelAlg) {
+	fs, _ := benchCorpus(b, 600)
+	cfg := Config{FS: fs, Work: "s1", NumReducers: 4, Parallelism: 4}
+	tokenFile, _, err := Stage1(cfg, "in")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{FS: fs, Work: fmt.Sprintf("w%d", i), Kernel: kernel,
+			NumReducers: 4, Parallelism: 4}
+		if _, _, err := Stage2Self(cfg, "in", tokenFile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStage2BK(b *testing.B) { benchStage2(b, BK) }
+func BenchmarkStage2PK(b *testing.B) { benchStage2(b, PK) }
+
+func benchStage3(b *testing.B, alg RecordJoinAlg) {
+	fs, _ := benchCorpus(b, 600)
+	cfg := Config{FS: fs, Work: "s1", NumReducers: 4, Parallelism: 4}
+	tokenFile, _, err := Stage1(cfg, "in")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Work = "s2"
+	cfg.Kernel = PK
+	pairs, _, err := Stage2Self(cfg, "in", tokenFile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{FS: fs, Work: fmt.Sprintf("w%d", i), RecordJoin: alg,
+			NumReducers: 4, Parallelism: 4}
+		if _, _, err := Stage3Self(cfg, "in", pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStage3BRJ(b *testing.B)  { benchStage3(b, BRJ) }
+func BenchmarkStage3OPRJ(b *testing.B) { benchStage3(b, OPRJ) }
+
+func BenchmarkSelfJoinEndToEnd(b *testing.B) {
+	fs, _ := benchCorpus(b, 600)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{FS: fs, Work: fmt.Sprintf("w%d", i), Kernel: PK,
+			NumReducers: 4, Parallelism: 4}
+		if _, err := SelfJoin(cfg, "in"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package core implements the paper's primary contribution: the
+// three-stage MapReduce set-similarity join (Vernica, Carey, Li —
+// SIGMOD 2010), end-to-end from complete records to complete joined
+// record pairs.
+//
+//	Stage 1 — token ordering:    BTO (two jobs) or OPTO (one job);
+//	Stage 2 — RID-pair kernel:   BK (nested loop) or PK (PPJoin+),
+//	                             routing by individual or grouped prefix
+//	                             tokens;
+//	Stage 3 — record join:       BRJ (two jobs) or OPRJ (one broadcast
+//	                             job).
+//
+// Both the self-join and the R-S join cases are supported, along with the
+// §5 strategies for reducer inputs that exceed memory (map-based and
+// reduce-based block processing).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/filter"
+	"fuzzyjoin/internal/mapreduce"
+	"fuzzyjoin/internal/records"
+	"fuzzyjoin/internal/simfn"
+	"fuzzyjoin/internal/tokenize"
+)
+
+// TokenOrderAlg selects the Stage 1 algorithm.
+type TokenOrderAlg int
+
+const (
+	// BTO (Basic Token Ordering) counts token frequencies in one job and
+	// sorts them with a second single-reducer job.
+	BTO TokenOrderAlg = iota
+	// OPTO (One-Phase Token Ordering) aggregates counts at a single
+	// reducer and sorts them in its cleanup hook.
+	OPTO
+)
+
+func (a TokenOrderAlg) String() string {
+	if a == OPTO {
+		return "OPTO"
+	}
+	return "BTO"
+}
+
+// KernelAlg selects the Stage 2 algorithm.
+type KernelAlg int
+
+const (
+	// BK (Basic Kernel) cross-pairs each reduce group with a nested loop.
+	BK KernelAlg = iota
+	// PK (PPJoin+ Kernel) streams each reduce group through a PPJoin+
+	// index in length order.
+	PK
+)
+
+func (a KernelAlg) String() string {
+	if a == PK {
+		return "PK"
+	}
+	return "BK"
+}
+
+// RecordJoinAlg selects the Stage 3 algorithm.
+type RecordJoinAlg int
+
+const (
+	// BRJ (Basic Record Join) routes RID pairs and records through two
+	// jobs.
+	BRJ RecordJoinAlg = iota
+	// OPRJ (One-Phase Record Join) broadcasts the RID-pair list to every
+	// mapper.
+	OPRJ
+)
+
+func (a RecordJoinAlg) String() string {
+	if a == OPRJ {
+		return "OPRJ"
+	}
+	return "BRJ"
+}
+
+// Routing selects how Stage 2 maps prefix tokens to reducer keys (§3.2).
+type Routing int
+
+const (
+	// IndividualTokens uses each prefix token itself as the key: one
+	// group per token.
+	IndividualTokens Routing = iota
+	// GroupedTokens maps tokens round-robin (by frequency rank) onto
+	// Config.NumGroups synthetic keys.
+	GroupedTokens
+)
+
+func (r Routing) String() string {
+	if r == GroupedTokens {
+		return "grouped"
+	}
+	return "individual"
+}
+
+// BlockMode selects the §5 insufficient-memory strategy for Stage 2 BK.
+type BlockMode int
+
+const (
+	// NoBlocks disables block processing; a reduce group must fit in the
+	// memory budget.
+	NoBlocks BlockMode = iota
+	// MapBlocks is map-based block processing: mappers replicate and
+	// interleave block copies so reducers consume them in rounds.
+	MapBlocks
+	// ReduceBlocks is reduce-based block processing: mappers send each
+	// projection once and reducers spill non-resident blocks to local
+	// disk.
+	ReduceBlocks
+)
+
+func (m BlockMode) String() string {
+	switch m {
+	case MapBlocks:
+		return "map-based"
+	case ReduceBlocks:
+		return "reduce-based"
+	default:
+		return "none"
+	}
+}
+
+// Config configures an end-to-end join.
+type Config struct {
+	// FS is the distributed file system holding inputs, intermediates,
+	// and output.
+	FS *dfs.FS
+	// Work is the prefix for intermediate and output files. Each run
+	// needs a fresh prefix.
+	Work string
+
+	// Tokenizer converts join-attribute strings into token sets.
+	// Defaults to word tokenization, the paper's choice.
+	Tokenizer tokenize.Tokenizer
+	// JoinFields are the record fields concatenated into the join
+	// attribute. Defaults to title + authors, the paper's choice.
+	JoinFields []int
+	// Fn is the similarity function; Threshold its τ. Defaults to
+	// Jaccard at 0.80, the paper's evaluation setting.
+	Fn        simfn.Func
+	Threshold float64
+	// Filters is the kernel filter stack; nil means the full PPJoin+
+	// stack. Point at a zero filter.Stack to run with the prefix filter
+	// alone (the filter ablation does).
+	Filters *filter.Stack
+
+	// TokenOrder, Kernel, and RecordJoin pick the per-stage algorithms.
+	TokenOrder TokenOrderAlg
+	Kernel     KernelAlg
+	RecordJoin RecordJoinAlg
+	// Routing and NumGroups configure Stage 2 key generation. NumGroups
+	// is only used with GroupedTokens; it defaults to 1 group per
+	// reducer-slot-scaled token count — see Stage 2.
+	Routing   Routing
+	NumGroups int
+
+	// NumReducers is the reduce-task count per job (the paper runs
+	// 4 × nodes). Defaults to 4.
+	NumReducers int
+	// MemoryLimit caps per-task memory (0 = unlimited).
+	MemoryLimit int64
+	// BlockMode and NumBlocks configure §5 block processing of Stage 2 BK
+	// groups: each reduce group is sub-partitioned into NumBlocks blocks
+	// (by RID hash) so one block — not the whole group — must fit in the
+	// memory budget. The paper sizes blocks "so that each block fits in
+	// memory"; the count is chosen by the operator from Stage 1
+	// statistics and is a job-level constant because map-based
+	// replication must know it before reducing.
+	BlockMode BlockMode
+	NumBlocks int
+	// LengthRouting enables the §5 secondary routing criterion for the
+	// self-join BK kernel: projections are routed on (token, length
+	// bucket) keys so reducers buffer only one length bucket at a time.
+	// LengthBucket is the bucket width in tokens (default 2).
+	LengthRouting bool
+	LengthBucket  int
+	// Parallelism is the host-goroutine bound for task execution
+	// (wall-clock only; results and recorded costs are unaffected).
+	Parallelism int
+	// CompressShuffle and SpillPairs pass through to every job (see
+	// mapreduce.Job): flate-compressed map output, and the map-side
+	// spill threshold in buffered pairs (0 = unbounded buffer).
+	CompressShuffle bool
+	SpillPairs      int
+	// NoCombiner disables the Stage 1 combine function (for the
+	// combiner-contribution ablation; the paper attributes BTO's limited
+	// speedup partly to combiners seeing less data per task as nodes
+	// grow, §6.1.1).
+	NoCombiner bool
+}
+
+func (c *Config) fillDefaults() error {
+	if c.FS == nil {
+		return fmt.Errorf("core: Config.FS is required")
+	}
+	if c.Work == "" {
+		return fmt.Errorf("core: Config.Work is required")
+	}
+	if c.Tokenizer == nil {
+		c.Tokenizer = tokenize.Word{}
+	}
+	if len(c.JoinFields) == 0 {
+		c.JoinFields = []int{records.FieldTitle, records.FieldAuthors}
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		if c.Threshold == 0 {
+			c.Threshold = 0.8
+		} else {
+			return fmt.Errorf("core: threshold %v out of (0, 1]", c.Threshold)
+		}
+	}
+	if c.Filters == nil {
+		all := filter.AllFilters
+		c.Filters = &all
+	}
+	if c.NumReducers <= 0 {
+		c.NumReducers = 4
+	}
+	if c.BlockMode != NoBlocks {
+		if c.Kernel != BK {
+			return fmt.Errorf("core: block processing applies to the BK kernel only")
+		}
+		if c.NumBlocks < 2 {
+			return fmt.Errorf("core: NumBlocks must be at least 2 with block processing")
+		}
+		if c.LengthRouting {
+			return fmt.Errorf("core: LengthRouting and BlockMode are alternative §5 strategies; enable one")
+		}
+	}
+	if c.LengthRouting && c.Kernel != BK {
+		return fmt.Errorf("core: LengthRouting applies to the BK kernel only")
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	return nil
+}
+
+// StageMetrics collects the engine metrics of the jobs one stage ran.
+type StageMetrics struct {
+	// Stage is 1, 2, or 3.
+	Stage int
+	// Alg names the algorithm used (BTO, PK, ...).
+	Alg string
+	// Jobs holds one Metrics per MapReduce job, in execution order.
+	Jobs []*mapreduce.Metrics
+	// Wall is the measured host execution time of the stage.
+	Wall time.Duration
+}
+
+// Result describes a completed end-to-end join.
+type Result struct {
+	// Output is the DFS prefix of the final joined-record part files
+	// (Text format, one records.JoinedPair per line).
+	Output string
+	// RIDPairs is the DFS prefix of Stage 2's RID-pair part files.
+	RIDPairs string
+	// TokenOrderFile is the Stage 1 output consumed by Stage 2.
+	TokenOrderFile string
+	// Stages holds per-stage metrics: Stages[0] is Stage 1, etc.
+	Stages [3]StageMetrics
+	// Pairs is the number of joined pairs produced (after dedup).
+	Pairs int64
+}
+
+// Combo renders the algorithm combination the way the paper does, e.g.
+// "BTO-PK-OPRJ".
+func (c Config) Combo() string {
+	return fmt.Sprintf("%s-%s-%s", c.TokenOrder, c.Kernel, c.RecordJoin)
+}

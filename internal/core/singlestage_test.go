@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSingleStageMatchesOracle: the §2.2 carry-complete-records
+// alternative computes the same join as the three-stage pipeline.
+func TestSingleStageMatchesOracle(t *testing.T) {
+	lines := makeLines(31, 45, 1)
+	want := oracleSelf(t, lines, 0.8)
+	fs := newTestFS(t)
+	writeInput(t, fs, "in", lines)
+	cfg := Config{FS: fs, Work: "w", NumReducers: 3}
+	res, err := SingleStageSelfJoin(cfg, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readJoined(t, fs, res.Output)
+	assertPairsEqual(t, got, want, "single-stage")
+	if res.Pairs != int64(len(want)) {
+		t.Fatalf("Pairs = %d, want %d", res.Pairs, len(want))
+	}
+}
+
+// TestSingleStageShufflesMore reproduces why the paper rejected the
+// design: carrying complete records through the kernel shuffle costs far
+// more than shuffling projections.
+func TestSingleStageShufflesMore(t *testing.T) {
+	lines := makeLines(32, 60, 1)
+	fs := newTestFS(t)
+	writeInput(t, fs, "in", lines)
+	ss, err := SingleStageSelfJoin(Config{FS: fs, Work: "ss", NumReducers: 3}, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2 := newTestFS(t)
+	writeInput(t, fs2, "in", lines)
+	threeStage, err := SelfJoin(Config{FS: fs2, Work: "ts", NumReducers: 3}, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssShuffle := ss.Stages[1].Jobs[0].TotalShuffleBytes()
+	tsShuffle := threeStage.Stages[1].Jobs[0].TotalShuffleBytes()
+	if ssShuffle < 2*tsShuffle {
+		t.Fatalf("carry-records kernel shuffle (%d) not clearly worse than projections (%d)",
+			ssShuffle, tsShuffle)
+	}
+	// Both produce the same join.
+	if ss.Pairs != threeStage.Pairs {
+		t.Fatalf("pair counts differ: %d vs %d", ss.Pairs, threeStage.Pairs)
+	}
+}
+
+func TestSingleStageGroupedRouting(t *testing.T) {
+	lines := makeLines(33, 30, 1)
+	want := oracleSelf(t, lines, 0.8)
+	fs := newTestFS(t)
+	writeInput(t, fs, "in", lines)
+	cfg := Config{FS: fs, Work: "w", Routing: GroupedTokens, NumGroups: 5, NumReducers: 2}
+	res, err := SingleStageSelfJoin(cfg, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPairsEqual(t, readJoined(t, fs, res.Output), want, "single-stage-grouped")
+}
+
+func TestSingleStageValidation(t *testing.T) {
+	fs := newTestFS(t)
+	if _, err := SingleStageSelfJoin(Config{FS: fs, Work: "w"}, "missing"); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if _, err := SingleStageSelfJoin(Config{}, "in"); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

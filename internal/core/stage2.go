@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+
+	"fuzzyjoin/internal/keys"
+	"fuzzyjoin/internal/mapreduce"
+	"fuzzyjoin/internal/ppjoin"
+	"fuzzyjoin/internal/records"
+	"fuzzyjoin/internal/tokenize"
+)
+
+// Stage 2 — RID-pair generation (§3.2, §4). Mappers extract each record's
+// projection (RID + join-attribute token ranks), compute its prefix under
+// the global token order, and route one copy per prefix token (or per
+// token group). Reducers verify candidates with the BK or PK kernel and
+// emit (RID, RID, sim) triples.
+//
+// Key layouts (all integers big-endian; partitioning and grouping use the
+// 4-byte group prefix, sorting uses the full key):
+//
+//	self BK:  [group u32]
+//	self PK:  [group u32][length u32]
+//	R-S  BK:  [group u32][rel u8]               rel: 0 = R, 1 = S
+//	R-S  PK:  [group u32][class u32][rel u8]    class: R → lengthLowerBound(l), S → l
+//
+// The PK length ordering realizes the index-eviction optimization; the
+// R-S length classes force every joinable R projection to arrive before
+// the S projection that probes it (§4, Figure 6).
+
+const (
+	relR = 0
+	relS = 1
+)
+
+// stage2Mapper projects and routes records.
+type stage2Mapper struct {
+	cfg *Config
+	// tokenFile is the Stage 1 output side file.
+	tokenFile string
+	// rel tags the input relation (relR for self-joins).
+	rel byte
+	// rs selects the R-S key layouts.
+	rs bool
+
+	order     *tokenize.Order
+	numGroups int
+	keyBuf    []byte
+	valBuf    []byte
+}
+
+// NewTaskInstance gives each map task its own mapper (the token order,
+// group count, and reused buffers are per-task state).
+func (m *stage2Mapper) NewTaskInstance() any {
+	return &stage2Mapper{cfg: m.cfg, tokenFile: m.tokenFile, rel: m.rel, rs: m.rs}
+}
+
+func (m *stage2Mapper) Setup(ctx *mapreduce.Context) error {
+	data, err := ctx.SideFile(m.tokenFile)
+	if err != nil {
+		return err
+	}
+	// The token list is assumed to fit in task memory (§3.2); the budget
+	// check keeps the assumption honest.
+	if err := ctx.Memory.Alloc(int64(len(data))); err != nil {
+		return err
+	}
+	m.order = loadTokenOrder(data)
+	m.numGroups = m.order.Len()
+	if m.cfg.Routing == GroupedTokens && m.cfg.NumGroups > 0 {
+		m.numGroups = m.cfg.NumGroups
+	}
+	if m.numGroups < 1 {
+		m.numGroups = 1
+	}
+	return nil
+}
+
+// group maps a token rank to its routing group: the rank itself for
+// individual-token routing, or round-robin over NumGroups for grouped
+// routing (round-robin by frequency rank balances the sum of token
+// frequencies across groups, §3.2).
+func (m *stage2Mapper) group(rank uint32) uint32 {
+	if m.cfg.Routing == GroupedTokens {
+		return rank % uint32(m.numGroups)
+	}
+	return rank
+}
+
+// project parses a record and returns its RID and sorted token ranks.
+func (m *stage2Mapper) project(value []byte) (uint64, []uint32, error) {
+	rec, err := records.ParseLine(string(value))
+	if err != nil {
+		return 0, nil, err
+	}
+	toks := m.cfg.Tokenizer.Tokenize(rec.JoinAttr(m.cfg.JoinFields...))
+	// Tokens absent from the global order are discarded — relevant for
+	// the S relation, whose unknown tokens cannot produce candidates
+	// against R (§4 Stage 1).
+	_, ranks := m.order.SortByRank(toks)
+	return rec.RID, ranks, nil
+}
+
+func (m *stage2Mapper) Map(ctx *mapreduce.Context, _, value []byte, out mapreduce.Emitter) error {
+	rid, ranks, err := m.project(value)
+	if err != nil {
+		return err
+	}
+	if len(ranks) == 0 {
+		ctx.Count("stage2.empty_projections", 1)
+		return nil
+	}
+	m.valBuf = records.Projection{RID: rid, Ranks: ranks}.AppendBinary(m.valBuf[:0])
+	prefix := m.cfg.Fn.PrefixLength(len(ranks), m.cfg.Threshold)
+	emitted := make(map[uint32]bool, prefix)
+	for i := 0; i < prefix; i++ {
+		g := m.group(ranks[i])
+		if emitted[g] {
+			// Grouped routing can map several prefix tokens to one
+			// group; one copy per group suffices (the point of grouping:
+			// fewer replicas, §3.2).
+			continue
+		}
+		emitted[g] = true
+		if err := m.emitProjection(g, len(ranks), out); err != nil {
+			return err
+		}
+		ctx.Count("stage2.replicas", 1)
+	}
+	return nil
+}
+
+func (m *stage2Mapper) emitProjection(g uint32, length int, out mapreduce.Emitter) error {
+	k := keys.AppendUint32(m.keyBuf[:0], g)
+	switch {
+	case !m.rs && m.cfg.Kernel == PK:
+		k = keys.AppendUint32(k, uint32(length))
+	case m.rs && m.cfg.Kernel == BK:
+		k = append(k, m.rel)
+	case m.rs && m.cfg.Kernel == PK:
+		class := uint32(length)
+		if m.rel == relR {
+			lo, _ := m.cfg.Fn.LengthBounds(length, m.cfg.Threshold)
+			class = uint32(lo)
+		}
+		k = keys.AppendUint32(k, class)
+		k = append(k, m.rel)
+	}
+	m.keyBuf = k
+	return out.Emit(k, m.valBuf)
+}
+
+// emitRIDPair writes one kernel result in the Stage 2 output format:
+// key = [A u64][B u64], value = the RIDPair binary encoding.
+func emitRIDPair(out mapreduce.Emitter, p records.RIDPair) error {
+	k := keys.AppendUint64(keys.AppendUint64(nil, p.A), p.B)
+	return out.Emit(k, p.AppendBinary(nil))
+}
+
+func kernelOptions(cfg *Config) ppjoin.Options {
+	return ppjoin.Options{Fn: cfg.Fn, Threshold: cfg.Threshold, Filters: *cfg.Filters}
+}
+
+func countKernelStats(ctx *mapreduce.Context, st ppjoin.Stats) {
+	ctx.Count("stage2.candidates", st.Candidates)
+	ctx.Count("stage2.verified", st.Verified)
+	ctx.Count("stage2.results", st.Results)
+}
+
+// projectionBytes estimates a buffered projection's memory footprint.
+func projectionBytes(p records.Projection) int64 {
+	return int64(24 + 4*len(p.Ranks))
+}
+
+// bkSelfReducer buffers a group's projections and cross-pairs them
+// (§3.2.1). The whole group must fit in the memory budget; §5 block
+// processing (stage2_blocks.go) handles the case where it does not.
+type bkSelfReducer struct {
+	cfg *Config
+}
+
+func (r *bkSelfReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapreduce.Values, out mapreduce.Emitter) error {
+	items := make([]ppjoin.Item, 0, values.Len())
+	var held int64
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		p, err := records.DecodeProjection(v)
+		if err != nil {
+			return err
+		}
+		b := projectionBytes(p)
+		if err := ctx.Memory.Alloc(b); err != nil {
+			return err
+		}
+		held += b
+		items = append(items, ppjoin.Item{RID: p.RID, Ranks: p.Ranks})
+	}
+	defer ctx.Memory.Free(held)
+	var emitErr error
+	st := ppjoin.NestedLoopSelf(items, kernelOptions(r.cfg), func(p records.RIDPair) {
+		if emitErr == nil {
+			emitErr = emitRIDPair(out, p)
+		}
+	})
+	countKernelStats(ctx, st)
+	return emitErr
+}
+
+// pkSelfReducer streams a group's projections — arriving in length order
+// thanks to the composite key — through a PPJoin+ index (§3.2.2).
+type pkSelfReducer struct {
+	cfg *Config
+}
+
+func (r *pkSelfReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapreduce.Values, out mapreduce.Emitter) error {
+	ix := ppjoin.NewIndex(kernelOptions(r.cfg))
+	var held int64
+	defer func() { ctx.Memory.Free(held) }()
+	var emitErr error
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		p, err := records.DecodeProjection(v)
+		if err != nil {
+			return err
+		}
+		ix.ProbeAndAdd(ppjoin.Item{RID: p.RID, Ranks: p.Ranks}, func(pair records.RIDPair) {
+			if emitErr == nil {
+				emitErr = emitRIDPair(out, pair)
+			}
+		})
+		if emitErr != nil {
+			return emitErr
+		}
+		// Track the index's live footprint: charge growth, credit
+		// eviction.
+		if delta := ix.Bytes() - held; delta > 0 {
+			if err := ctx.Memory.Alloc(delta); err != nil {
+				return err
+			}
+			held = ix.Bytes()
+		} else if delta < 0 {
+			ctx.Memory.Free(-delta)
+			held = ix.Bytes()
+		}
+	}
+	countKernelStats(ctx, ix.Stats())
+	return nil
+}
+
+// bkRSReducer buffers the R projections of a group (they sort first) and
+// streams the S projections against them (§4 Stage 2).
+type bkRSReducer struct {
+	cfg *Config
+}
+
+func (r *bkRSReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapreduce.Values, out mapreduce.Emitter) error {
+	opts := kernelOptions(r.cfg)
+	var (
+		rItems []ppjoin.Item
+		held   int64
+		st     ppjoin.Stats
+	)
+	defer func() { ctx.Memory.Free(held) }()
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		rel, err := relOfBKKey(values.Key())
+		if err != nil {
+			return err
+		}
+		p, err := records.DecodeProjection(v)
+		if err != nil {
+			return err
+		}
+		item := ppjoin.Item{RID: p.RID, Ranks: p.Ranks}
+		if rel == relR {
+			// Only the R side must fit in memory (§5).
+			b := projectionBytes(p)
+			if err := ctx.Memory.Alloc(b); err != nil {
+				return err
+			}
+			held += b
+			rItems = append(rItems, item)
+			continue
+		}
+		sub := ppjoin.NestedLoopRS(rItems, []ppjoin.Item{item}, opts, func(pair records.RIDPair) {
+			if err == nil {
+				err = emitRIDPair(out, pair)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		st.Candidates += sub.Candidates
+		st.Verified += sub.Verified
+		st.Results += sub.Results
+	}
+	countKernelStats(ctx, st)
+	return nil
+}
+
+func relOfBKKey(key []byte) (byte, error) {
+	if len(key) != 5 {
+		return 0, fmt.Errorf("core: malformed BK R-S key of %d bytes", len(key))
+	}
+	return key[4], nil
+}
+
+func relOfPKKey(key []byte) (byte, error) {
+	if len(key) != 9 {
+		return 0, fmt.Errorf("core: malformed PK R-S key of %d bytes", len(key))
+	}
+	return key[8], nil
+}
+
+// pkRSReducer indexes R projections and probes with S projections. The
+// length-class keys guarantee every R projection that could join an S
+// projection is indexed before that S projection probes, so the index can
+// evict by length as the stream advances (§4, Figure 6).
+type pkRSReducer struct {
+	cfg *Config
+}
+
+func (r *pkRSReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapreduce.Values, out mapreduce.Emitter) error {
+	ix := ppjoin.NewIndex(kernelOptions(r.cfg))
+	var held int64
+	defer func() { ctx.Memory.Free(held) }()
+	var emitErr error
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		rel, err := relOfPKKey(values.Key())
+		if err != nil {
+			return err
+		}
+		p, err := records.DecodeProjection(v)
+		if err != nil {
+			return err
+		}
+		item := ppjoin.Item{RID: p.RID, Ranks: p.Ranks}
+		if rel == relR {
+			ix.Add(item)
+		} else {
+			ix.Probe(item, func(pair records.RIDPair) {
+				if emitErr == nil {
+					emitErr = emitRIDPair(out, pair)
+				}
+			})
+			if emitErr != nil {
+				return emitErr
+			}
+		}
+		if delta := ix.Bytes() - held; delta > 0 {
+			if err := ctx.Memory.Alloc(delta); err != nil {
+				return err
+			}
+			held = ix.Bytes()
+		} else if delta < 0 {
+			ctx.Memory.Free(-delta)
+			held = ix.Bytes()
+		}
+	}
+	countKernelStats(ctx, ix.Stats())
+	return nil
+}
+
+// runStage2Self runs the kernel job for a self-join and returns the
+// RID-pair output prefix.
+func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapreduce.Metrics, error) {
+	if cfg.BlockMode != NoBlocks {
+		return runStage2SelfBlocked(cfg, input, tokenFile, work)
+	}
+	if cfg.LengthRouting {
+		return runStage2SelfLengthRouted(cfg, input, tokenFile, work)
+	}
+	out := work + "/s2"
+	job := mapreduce.Job{
+		Name:            fmt.Sprintf("s2-%s-self", cfg.Kernel),
+		FS:              cfg.FS,
+		Inputs:          []string{input},
+		InputFormat:     mapreduce.Text,
+		Output:          out,
+		Mapper:          &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relR},
+		NumReducers:     cfg.NumReducers,
+		SideFiles:       []string{tokenFile},
+		MemoryLimit:     cfg.MemoryLimit,
+		Parallelism:     cfg.Parallelism,
+		CompressShuffle: cfg.CompressShuffle,
+		SpillPairs:      cfg.SpillPairs,
+	}
+	switch cfg.Kernel {
+	case PK:
+		job.Reducer = &pkSelfReducer{cfg: cfg}
+		job.Partitioner = mapreduce.PrefixPartitioner(4)
+		job.GroupComparator = keys.PrefixComparator(4)
+	default:
+		job.Reducer = &bkSelfReducer{cfg: cfg}
+	}
+	m, err := mapreduce.Run(job)
+	if err != nil {
+		return "", nil, err
+	}
+	return out, []*mapreduce.Metrics{m}, nil
+}
+
+// runStage2RS runs the kernel job for an R-S join.
+func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, []*mapreduce.Metrics, error) {
+	if cfg.BlockMode != NoBlocks {
+		return runStage2RSBlocked(cfg, inputR, inputS, tokenFile, work)
+	}
+	if cfg.LengthRouting {
+		return runStage2RSLengthRouted(cfg, inputR, inputS, tokenFile, work)
+	}
+	out := work + "/s2"
+	job := mapreduce.Job{
+		Name:        fmt.Sprintf("s2-%s-rs", cfg.Kernel),
+		FS:          cfg.FS,
+		Inputs:      []string{inputR, inputS},
+		InputFormat: mapreduce.Text,
+		Output:      out,
+		Mapper: &rsDispatchMapper{
+			r:   &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relR, rs: true},
+			s:   &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relS, rs: true},
+			isR: func(file string) bool { return file == inputR },
+		},
+		NumReducers:     cfg.NumReducers,
+		SideFiles:       []string{tokenFile},
+		Partitioner:     mapreduce.PrefixPartitioner(4),
+		GroupComparator: keys.PrefixComparator(4),
+		MemoryLimit:     cfg.MemoryLimit,
+		Parallelism:     cfg.Parallelism,
+		CompressShuffle: cfg.CompressShuffle,
+		SpillPairs:      cfg.SpillPairs,
+	}
+	if cfg.Kernel == PK {
+		job.Reducer = &pkRSReducer{cfg: cfg}
+	} else {
+		job.Reducer = &bkRSReducer{cfg: cfg}
+	}
+	m, err := mapreduce.Run(job)
+	if err != nil {
+		return "", nil, err
+	}
+	return out, []*mapreduce.Metrics{m}, nil
+}
+
+// rsDispatchMapper tags records by their input relation (§4: the key is
+// extended with a relation tag; the tag comes from the input file).
+type rsDispatchMapper struct {
+	r, s *stage2Mapper
+	isR  func(file string) bool
+}
+
+// NewTaskInstance clones both sub-mappers for the task.
+func (m *rsDispatchMapper) NewTaskInstance() any {
+	return &rsDispatchMapper{
+		r:   m.r.NewTaskInstance().(*stage2Mapper),
+		s:   m.s.NewTaskInstance().(*stage2Mapper),
+		isR: m.isR,
+	}
+}
+
+func (m *rsDispatchMapper) Setup(ctx *mapreduce.Context) error {
+	if err := m.r.Setup(ctx); err != nil {
+		return err
+	}
+	// Both sub-mappers share one token order; avoid double-charging the
+	// memory budget by reusing the loaded order.
+	m.s.order = m.r.order
+	m.s.numGroups = m.r.numGroups
+	return nil
+}
+
+func (m *rsDispatchMapper) Map(ctx *mapreduce.Context, key, value []byte, out mapreduce.Emitter) error {
+	if m.isR(ctx.InputFile) {
+		return m.r.Map(ctx, key, value, out)
+	}
+	return m.s.Map(ctx, key, value, out)
+}

@@ -1,0 +1,374 @@
+// Package datagen generates the synthetic bibliographic corpora the
+// experiments run on — the substitute for the paper's DBLP and CITESEERX
+// dumps (which are ~1.2M/1.3M-record XML files we do not ship).
+//
+// Generated corpora reproduce the properties the join algorithms are
+// sensitive to: Zipf-skewed token frequencies, the paper's record shape
+// (RID, title, authors, rest), contrasting record lengths (DBLP-like
+// ≈ 260 bytes vs CITESEERX-like ≈ 1.4 KB with abstracts), and a
+// configurable rate of near-duplicate records so the join result is
+// non-trivial.
+//
+// Increase implements the paper's §6 dataset-scaling method verbatim:
+// each ×n copy replaces every title/author token with the token n
+// positions after it in the increasing-frequency token order, so the
+// token dictionary stays constant while the join-result cardinality grows
+// linearly with the dataset.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"fuzzyjoin/internal/records"
+	"fuzzyjoin/internal/tokenize"
+)
+
+// Style selects the corpus shape.
+type Style int
+
+const (
+	// DBLPLike records average ~260 bytes: title, authors, and a short
+	// "rest" (venue/year).
+	DBLPLike Style = iota
+	// CiteseerLike records average ~1.4 KB: DBLP-like plus an abstract
+	// and reference URLs in the rest field.
+	CiteseerLike
+)
+
+func (s Style) String() string {
+	if s == CiteseerLike {
+		return "citeseerx-like"
+	}
+	return "dblp-like"
+}
+
+// Spec configures a corpus.
+type Spec struct {
+	// Records is the corpus size.
+	Records int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Style selects DBLP-like or CITESEERX-like records.
+	Style Style
+	// VocabSize is the token dictionary size. Defaults to 8192.
+	VocabSize int
+	// NearDupRate is the fraction of records generated as light
+	// perturbations of an earlier record (the near-duplicates a
+	// similarity join exists to find). Defaults to 0.2; set negative
+	// for none.
+	NearDupRate float64
+	// StartRID numbers records from this RID (default 1).
+	StartRID uint64
+}
+
+func (s *Spec) fillDefaults() {
+	if s.VocabSize <= 0 {
+		s.VocabSize = 8192
+	}
+	if s.NearDupRate == 0 {
+		s.NearDupRate = 0.2
+	}
+	if s.NearDupRate < 0 {
+		s.NearDupRate = 0
+	}
+	if s.StartRID == 0 {
+		s.StartRID = 1
+	}
+}
+
+var syllables = []string{
+	"ba", "ce", "di", "fo", "gu", "ha", "je", "ki", "lo", "mu",
+	"na", "pe", "qui", "ro", "su", "ta", "ve", "wi", "xo", "zu",
+}
+
+// word deterministically synthesizes the i-th vocabulary word: the
+// base-20 syllable digits of i, padded to at least two syllables so word
+// lengths resemble natural text. Padding cannot collide with natural
+// two-digit ids because those never have a zero high digit.
+func word(i int) string {
+	var b strings.Builder
+	n := i
+	digits := 0
+	for {
+		b.WriteString(syllables[n%len(syllables)])
+		n /= len(syllables)
+		digits++
+		if n == 0 {
+			break
+		}
+	}
+	if digits < 2 {
+		b.WriteString(syllables[0])
+	}
+	return b.String()
+}
+
+// surname synthesizes author names. The "Mc" prefix keeps the surname
+// vocabulary disjoint from title words (no syllable starts with "mc"),
+// as author names and title words barely overlap in real bibliographies.
+func surname(i int) string {
+	return "Mc" + word(i)
+}
+
+// Generate builds a deterministic corpus.
+func Generate(spec Spec) []records.Record {
+	spec.fillDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	// Zipf over the vocabulary: rank 0 most frequent, heavy skew like
+	// real word frequencies.
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(spec.VocabSize-1))
+	authorZipf := rand.NewZipf(rng, 1.2, 8, uint64(spec.VocabSize/8))
+
+	out := make([]records.Record, 0, spec.Records)
+	for i := 0; i < spec.Records; i++ {
+		rid := spec.StartRID + uint64(i)
+		if len(out) > 0 && rng.Float64() < spec.NearDupRate {
+			out = append(out, perturb(rng, zipf, out[rng.Intn(len(out))], rid))
+			continue
+		}
+		out = append(out, fresh(rng, zipf, authorZipf, spec.Style, rid))
+	}
+	return out
+}
+
+// sampleTitle draws n distinct Zipf words (titles rarely repeat a word,
+// and duplicate-free join attributes keep the ×n Increase shift an exact
+// dictionary bijection).
+func sampleTitle(rng *rand.Rand, zipf *rand.Zipf, n int) string {
+	words := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for len(words) < n {
+		w := word(int(zipf.Uint64()))
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+func fresh(rng *rand.Rand, zipf, authorZipf *rand.Zipf, style Style, rid uint64) records.Record {
+	title := sampleTitle(rng, zipf, 6+rng.Intn(7))
+	nAuthors := 1 + rng.Intn(4)
+	authors := make([]string, 0, nAuthors)
+	seen := map[string]bool{}
+	for len(authors) < nAuthors {
+		name := surname(int(authorZipf.Uint64())) + " " + surname(int(authorZipf.Uint64()))
+		if !seen[name] {
+			seen[name] = true
+			authors = append(authors, name)
+		}
+	}
+	rest := fmt.Sprintf("proceedings-of-%s-%s volume %d number %d year %d pages %d-%d publisher %s",
+		word(rng.Intn(400)), word(rng.Intn(400)), 1+rng.Intn(40), 1+rng.Intn(12),
+		1995+rng.Intn(20), 1+rng.Intn(400), 410+rng.Intn(500), word(rng.Intn(200)))
+	if style == CiteseerLike {
+		// Abstract ≈ 150 words plus reference URLs: ~1.1 KB extra,
+		// matching the paper's ~5× record-size ratio.
+		abstract := sampleTitle(rng, zipf, 150)
+		var urls []string
+		for i := 0; i < 3+rng.Intn(4); i++ {
+			urls = append(urls, "http://cite.example/"+word(rng.Intn(5000))+word(rng.Intn(5000)))
+		}
+		rest = rest + " " + abstract + " " + strings.Join(urls, " ")
+	}
+	return records.Record{
+		RID:    rid,
+		Fields: []string{title, strings.Join(authors, ", "), rest},
+	}
+}
+
+// perturb derives a near-duplicate: the base record with a word edited,
+// dropped, or added in the title — similar enough to join at τ = 0.8
+// most of the time.
+func perturb(rng *rand.Rand, zipf *rand.Zipf, base records.Record, rid uint64) records.Record {
+	title := strings.Fields(base.Fields[records.FieldTitle])
+	if len(title) > 1 {
+		switch rng.Intn(3) {
+		case 0:
+			title[rng.Intn(len(title))] = word(int(zipf.Uint64()))
+		case 1:
+			i := rng.Intn(len(title))
+			title = append(title[:i], title[i+1:]...)
+		case 2:
+			title = append(title, word(int(zipf.Uint64())))
+		}
+	}
+	return records.Record{
+		RID: rid,
+		Fields: []string{
+			strings.Join(title, " "),
+			base.Fields[records.FieldAuthors],
+			base.Fields[records.FieldRest],
+		},
+	}
+}
+
+// Increase scales a corpus ×factor using the paper's method: copy c
+// (1 ≤ c < factor) replaces each title/author token with the token c
+// positions later in the increasing-frequency token order (wrapping at
+// the end, which keeps the dictionary exactly constant). The original
+// records come first; copies are renumbered after them.
+func Increase(recs []records.Record, factor int) []records.Record {
+	return IncreaseWithOrder(recs, factor, tokenOrder(recs))
+}
+
+// SharedOrder computes one increasing-frequency token order over several
+// corpora. Scaling two relations of an R-S join with the same order keeps
+// cross-relation similar pairs similar in every copy, so the R-S join
+// result also grows linearly (the property the paper verifies for its
+// scaled datasets).
+func SharedOrder(corpora ...[]records.Record) []string {
+	var all []records.Record
+	for _, c := range corpora {
+		all = append(all, c...)
+	}
+	return tokenOrder(all)
+}
+
+// IncreaseWithOrder is Increase with an explicit token order (see
+// SharedOrder).
+func IncreaseWithOrder(recs []records.Record, factor int, order []string) []records.Record {
+	if factor <= 1 {
+		return recs
+	}
+	rank := make(map[string]int, len(order))
+	for i, t := range order {
+		rank[t] = i
+	}
+
+	out := make([]records.Record, 0, len(recs)*factor)
+	out = append(out, recs...)
+	nextRID := maxRID(recs) + 1
+	for c := 1; c < factor; c++ {
+		for _, r := range recs {
+			out = append(out, shiftRecord(r, order, rank, c, nextRID))
+			nextRID++
+		}
+	}
+	return out
+}
+
+// tokenOrder computes the increasing-frequency order of the title/author
+// tokens, ties broken by token text (matching Stage 1's determinism).
+func tokenOrder(recs []records.Record) []string {
+	freq := map[string]int{}
+	for _, r := range recs {
+		for _, f := range []int{records.FieldTitle, records.FieldAuthors} {
+			for _, w := range strings.Fields(r.Fields[f]) {
+				freq[normalize(w)]++
+			}
+		}
+	}
+	order := make([]string, 0, len(freq))
+	for t := range freq {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if freq[order[i]] != freq[order[j]] {
+			return freq[order[i]] < freq[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// normalize matches the word tokenizer's cleaning so shifted tokens stay
+// within the dictionary.
+func normalize(w string) string {
+	return strings.ToLower(strings.Trim(w, ".,;:!?()\"'"))
+}
+
+func shiftRecord(r records.Record, order []string, rank map[string]int, c int, rid uint64) records.Record {
+	shift := func(field string) string {
+		ws := strings.Fields(field)
+		for i, w := range ws {
+			if idx, ok := rank[normalize(w)]; ok {
+				ws[i] = order[(idx+c)%len(order)]
+			}
+		}
+		return strings.Join(ws, " ")
+	}
+	return records.Record{
+		RID: rid,
+		Fields: []string{
+			shift(r.Fields[records.FieldTitle]),
+			shift(r.Fields[records.FieldAuthors]),
+			r.Fields[records.FieldRest],
+		},
+	}
+}
+
+func maxRID(recs []records.Record) uint64 {
+	var m uint64
+	for _, r := range recs {
+		if r.RID > m {
+			m = r.RID
+		}
+	}
+	return m
+}
+
+// GenerateOverlapping builds a corpus where a fraction of records are
+// perturbed copies of records from base — the cross-relation
+// near-duplicates an R-S join exists to find (the paper's DBLP and
+// CITESEERX corpora share many publications). The remaining records are
+// fresh per spec.
+func GenerateOverlapping(base []records.Record, spec Spec, overlapRate float64) []records.Record {
+	spec.fillDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed + 0x5eed))
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(spec.VocabSize-1))
+	fresh := Generate(spec)
+	out := make([]records.Record, len(fresh))
+	for i := range fresh {
+		if len(base) > 0 && rng.Float64() < overlapRate {
+			src := base[rng.Intn(len(base))]
+			p := perturb(rng, zipf, src, fresh[i].RID)
+			// Keep the target style's rest field (e.g. the CITESEERX
+			// abstract) — only the join attribute overlaps.
+			p.Fields[records.FieldRest] = fresh[i].Fields[records.FieldRest]
+			out[i] = p
+			continue
+		}
+		out[i] = fresh[i]
+	}
+	return out
+}
+
+// Lines renders records in the Text input format.
+func Lines(recs []records.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Line()
+	}
+	return out
+}
+
+// Dictionary returns the distinct title/author tokens of a corpus (used
+// by tests to verify Increase keeps the dictionary constant).
+func Dictionary(recs []records.Record) map[string]bool {
+	out := map[string]bool{}
+	w := tokenize.Word{}
+	for _, r := range recs {
+		for _, t := range w.Tokenize(r.JoinAttr(records.FieldTitle, records.FieldAuthors)) {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// AvgRecordBytes reports the mean rendered record size (used to check
+// corpus shape against the paper's 259 B / 1374 B averages).
+func AvgRecordBytes(recs []records.Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range recs {
+		n += len(r.Line())
+	}
+	return n / len(recs)
+}

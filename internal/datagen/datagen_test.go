@@ -1,0 +1,275 @@
+package datagen
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"fuzzyjoin/internal/ppjoin"
+	"fuzzyjoin/internal/records"
+	"fuzzyjoin/internal/simfn"
+	"fuzzyjoin/internal/tokenize"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Records: 50, Seed: 7})
+	b := Generate(Spec{Records: 50, Seed: 7})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	c := Generate(Spec{Records: 50, Seed: 8})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	recs := Generate(Spec{Records: 200, Seed: 1})
+	if len(recs) != 200 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.RID != uint64(i+1) {
+			t.Fatalf("record %d has RID %d", i, r.RID)
+		}
+		if len(r.Fields) != records.NumFields {
+			t.Fatalf("record %d has %d fields", i, len(r.Fields))
+		}
+		if r.Fields[records.FieldTitle] == "" || r.Fields[records.FieldAuthors] == "" {
+			t.Fatalf("record %d has empty join fields: %+v", i, r)
+		}
+		if _, err := records.ParseLine(r.Line()); err != nil {
+			t.Fatalf("record %d does not round-trip: %v", i, err)
+		}
+	}
+}
+
+func TestRecordSizesMatchStyles(t *testing.T) {
+	dblp := AvgRecordBytes(Generate(Spec{Records: 300, Seed: 2, Style: DBLPLike}))
+	cite := AvgRecordBytes(Generate(Spec{Records: 300, Seed: 2, Style: CiteseerLike}))
+	// Paper averages: 259 B and 1374 B (ratio ≈ 5.3). Accept generous
+	// bands around the shape.
+	if dblp < 100 || dblp > 500 {
+		t.Fatalf("DBLP-like average %d B outside [100, 500]", dblp)
+	}
+	if cite < 800 || cite > 2500 {
+		t.Fatalf("CITESEERX-like average %d B outside [800, 2500]", cite)
+	}
+	if cite < 3*dblp {
+		t.Fatalf("style size ratio too small: %d vs %d", cite, dblp)
+	}
+}
+
+func TestNearDuplicatesProduceJoinResults(t *testing.T) {
+	recs := Generate(Spec{Records: 300, Seed: 3})
+	if countPairs(recs) == 0 {
+		t.Fatal("corpus has no similar pairs at τ=0.8")
+	}
+	none := Generate(Spec{Records: 300, Seed: 3, NearDupRate: -1})
+	if countPairs(none) > countPairs(recs)/4 {
+		t.Fatalf("NearDupRate<0 corpus has too many pairs: %d vs %d",
+			countPairs(none), countPairs(recs))
+	}
+}
+
+// countPairs runs a single-node PPJoin+ self-join at τ=0.8.
+func countPairs(recs []records.Record) int {
+	w := tokenize.Word{}
+	freq := map[string]int{}
+	var tokSets [][]string
+	for _, r := range recs {
+		toks := w.Tokenize(r.JoinAttr(records.FieldTitle, records.FieldAuthors))
+		tokSets = append(tokSets, toks)
+		for _, t := range toks {
+			freq[t]++
+		}
+	}
+	var vocab []string
+	for t := range freq {
+		vocab = append(vocab, t)
+	}
+	// Order by (freq, token).
+	for i := 1; i < len(vocab); i++ {
+		v := vocab[i]
+		j := i - 1
+		for j >= 0 && (freq[vocab[j]] > freq[v] || (freq[vocab[j]] == freq[v] && vocab[j] > v)) {
+			vocab[j+1] = vocab[j]
+			j--
+		}
+		vocab[j+1] = v
+	}
+	order := tokenize.NewOrder(vocab)
+	items := make([]ppjoin.Item, len(recs))
+	for i, toks := range tokSets {
+		_, ranks := order.SortByRank(toks)
+		items[i] = ppjoin.Item{RID: recs[i].RID, Ranks: ranks}
+	}
+	n := 0
+	ppjoin.SelfJoin(items, ppjoin.Options{Fn: simfn.Jaccard, Threshold: 0.8},
+		func(records.RIDPair) { n++ })
+	return n
+}
+
+func TestIncreaseSizeAndRIDs(t *testing.T) {
+	recs := Generate(Spec{Records: 40, Seed: 4})
+	inc := Increase(recs, 3)
+	if len(inc) != 120 {
+		t.Fatalf("len = %d, want 120", len(inc))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range inc {
+		if seen[r.RID] {
+			t.Fatalf("duplicate RID %d", r.RID)
+		}
+		seen[r.RID] = true
+	}
+	if !reflect.DeepEqual(inc[:40], recs) {
+		t.Fatal("originals not preserved at the front")
+	}
+	if reflect.DeepEqual(Increase(recs, 1), recs) != true {
+		t.Fatal("factor 1 must be the identity")
+	}
+}
+
+// TestIncreaseKeepsDictionaryConstant: the paper's stated goal — "We
+// maintained a roughly constant token dictionary".
+func TestIncreaseKeepsDictionaryConstant(t *testing.T) {
+	recs := Generate(Spec{Records: 120, Seed: 5})
+	base := Dictionary(recs)
+	for _, factor := range []int{2, 5} {
+		inc := Dictionary(Increase(recs, factor))
+		// The shift is a bijection on the dictionary, so the token set
+		// stays "roughly constant" (the paper's wording): the only
+		// growth is occurrence-suffix variants ("t~2") of shifted
+		// within-record duplicates.
+		growth := float64(len(inc)-len(base)) / float64(len(base))
+		if growth > 0.05 {
+			t.Fatalf("×%d dictionary grew %d → %d (%.1f%%)",
+				factor, len(base), len(inc), 100*growth)
+		}
+	}
+}
+
+// TestIncreaseJoinGrowsLinearly: the paper's second goal — "the
+// cardinality of join results ... increased linearly".
+func TestIncreaseJoinGrowsLinearly(t *testing.T) {
+	recs := Generate(Spec{Records: 150, Seed: 6})
+	base := countPairs(recs)
+	if base == 0 {
+		t.Fatal("base corpus has no pairs")
+	}
+	for _, factor := range []int{2, 3} {
+		got := countPairs(Increase(recs, factor))
+		lo, hi := factor*base, factor*base+factor*base/4
+		if got < lo || got > hi {
+			t.Fatalf("×%d pairs = %d, want within [%d, %d] (≈ linear from %d)",
+				factor, got, lo, hi, base)
+		}
+	}
+}
+
+func TestIncreasePreservesWithinCopySimilarity(t *testing.T) {
+	// A near-duplicate pair in the original must remain a near-duplicate
+	// pair in every shifted copy (same similarity).
+	recs := []records.Record{
+		{RID: 1, Fields: []string{"alpha beta gamma delta epsilon", "zeta eta", ""}},
+		{RID: 2, Fields: []string{"alpha beta gamma delta epsilon", "zeta eta", ""}},
+	}
+	inc := Increase(recs, 2)
+	c1, c2 := inc[2], inc[3]
+	if c1.Fields[0] == recs[0].Fields[0] {
+		t.Fatal("copy not shifted")
+	}
+	if c1.Fields[0] != c2.Fields[0] || c1.Fields[1] != c2.Fields[1] {
+		t.Fatalf("shifted duplicates diverged: %+v vs %+v", c1, c2)
+	}
+}
+
+func TestLines(t *testing.T) {
+	recs := Generate(Spec{Records: 3, Seed: 9})
+	lines := Lines(recs)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, l := range lines {
+		got, err := records.ParseLine(l)
+		if err != nil || got.RID != recs[i].RID {
+			t.Fatalf("line %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestStartRID(t *testing.T) {
+	recs := Generate(Spec{Records: 5, Seed: 10, StartRID: 1000})
+	if recs[0].RID != 1000 || recs[4].RID != 1004 {
+		t.Fatalf("RIDs = %d..%d", recs[0].RID, recs[4].RID)
+	}
+}
+
+func TestWordSynthesis(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		w := word(i)
+		if w == "" || seen[w] {
+			t.Fatalf("word(%d) = %q (duplicate or empty)", i, w)
+		}
+		seen[w] = true
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(Spec{Records: 1000, Seed: int64(i)})
+	}
+}
+
+func BenchmarkIncrease(b *testing.B) {
+	recs := Generate(Spec{Records: 1000, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Increase(recs, 5)
+	}
+}
+
+// TestTokenFrequencySkew: the corpus must show the heavy-tailed token
+// frequencies the prefix filter depends on (rare tokens for prefixes,
+// common tokens avoided) — a Zipf-like shape, not uniform.
+func TestTokenFrequencySkew(t *testing.T) {
+	recs := Generate(Spec{Records: 2000, Seed: 21})
+	w := tokenize.Word{}
+	freq := map[string]int{}
+	total := 0
+	for _, r := range recs {
+		for _, tok := range w.Tokenize(r.JoinAttr(records.FieldTitle, records.FieldAuthors)) {
+			freq[tok]++
+			total++
+		}
+	}
+	counts := make([]int, 0, len(freq))
+	for _, n := range freq {
+		counts = append(counts, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+
+	// Heavy head: the top 1% of tokens carry a large share of mass.
+	head := 0
+	for _, n := range counts[:len(counts)/100+1] {
+		head += n
+	}
+	if share := float64(head) / float64(total); share < 0.15 {
+		t.Fatalf("top-1%% token share %.2f too uniform for Zipf-like data", share)
+	}
+	// Long tail: a large fraction of tokens are rare (frequency <= 2) —
+	// these are what prefixes are made of.
+	rare := 0
+	for _, n := range counts {
+		if n <= 2 {
+			rare++
+		}
+	}
+	if share := float64(rare) / float64(len(counts)); share < 0.3 {
+		t.Fatalf("rare-token share %.2f too small", share)
+	}
+}

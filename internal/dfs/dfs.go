@@ -1,0 +1,281 @@
+// Package dfs simulates the distributed file system under the MapReduce
+// engine (the HDFS substitute).
+//
+// Files are sequences of blocks. Records are appended record-at-a-time
+// and never span a block boundary: a block is closed once it reaches the
+// configured block size, so every block parses independently and one
+// input split per block needs no boundary stitching. (Hadoop lets records
+// straddle blocks and stitches them in the input format; block-aligned
+// records are an equivalent simplification for this system because all
+// producers write through this API.) Each block is assigned replica
+// locations round-robin across the virtual cluster nodes, mirroring the
+// balanced initial placement the paper arranges before each experiment.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultBlockSize mirrors the paper's Hadoop configuration (128 MB)
+// scaled down 1000× to suit the scaled-down datasets: splits per file stay
+// in the same ballpark as the paper's runs.
+const DefaultBlockSize = 128 << 10
+
+// Options configures a file system.
+type Options struct {
+	// BlockSize is the maximum block payload in bytes. Defaults to
+	// DefaultBlockSize.
+	BlockSize int
+	// Nodes is the number of virtual cluster nodes blocks are placed on.
+	// Defaults to 1.
+	Nodes int
+	// Replication is the number of replica locations per block, capped at
+	// Nodes. Defaults to 1 (the paper sets dfs.replication=1).
+	Replication int
+}
+
+// FS is an in-memory simulated distributed file system. All methods are
+// safe for concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	opts  Options
+	files map[string]*file
+	next  int // round-robin placement cursor
+}
+
+type file struct {
+	blocks [][]byte
+	locs   [][]int // replica node IDs per block
+	nrecs  []int   // records per block
+	size   int64
+}
+
+// New creates an empty file system.
+func New(opts Options) *FS {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 1
+	}
+	if opts.Replication > opts.Nodes {
+		opts.Replication = opts.Nodes
+	}
+	return &FS{opts: opts, files: make(map[string]*file)}
+}
+
+// Nodes returns the number of virtual nodes.
+func (fs *FS) Nodes() int { return fs.opts.Nodes }
+
+// BlockSize returns the configured block size.
+func (fs *FS) BlockSize() int { return fs.opts.BlockSize }
+
+// ErrNotExist is returned when a named file is absent.
+var ErrNotExist = errors.New("dfs: file does not exist")
+
+// ErrExist is returned when creating a file that already exists.
+var ErrExist = errors.New("dfs: file already exists")
+
+// Writer appends records to a file. Writers are not safe for concurrent
+// use; create one writer per producing task (tasks write distinct files,
+// as in Hadoop).
+type Writer struct {
+	fs   *FS
+	name string
+	f    *file
+	cur  []byte
+	recs int
+}
+
+// Create creates a new file and returns a writer for it.
+func (fs *FS) Create(name string) (*Writer, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	f := &file{}
+	fs.files[name] = f
+	return &Writer{fs: fs, name: name, f: f}, nil
+}
+
+// Append adds one record to the file. The record bytes are copied.
+func (w *Writer) Append(record []byte) {
+	if len(w.cur) > 0 && len(w.cur)+len(record) > w.fs.opts.BlockSize {
+		w.flushBlock()
+	}
+	w.cur = append(w.cur, record...)
+	w.recs++
+}
+
+func (w *Writer) flushBlock() {
+	if len(w.cur) == 0 {
+		return
+	}
+	block := make([]byte, len(w.cur))
+	copy(block, w.cur)
+	w.cur = w.cur[:0]
+	recs := w.recs
+	w.recs = 0
+
+	// The placement cursor and the file metadata are both shared with
+	// concurrent readers (and other writers), so the whole commit holds
+	// the FS lock.
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	locs := make([]int, w.fs.opts.Replication)
+	for i := range locs {
+		locs[i] = (w.fs.next + i) % w.fs.opts.Nodes
+	}
+	w.fs.next = (w.fs.next + 1) % w.fs.opts.Nodes
+	w.f.blocks = append(w.f.blocks, block)
+	w.f.locs = append(w.f.locs, locs)
+	w.f.nrecs = append(w.f.nrecs, recs)
+	w.f.size += int64(len(block))
+}
+
+// Close flushes the final partial block. The writer must not be used
+// afterwards.
+func (w *Writer) Close() error {
+	w.flushBlock()
+	return nil
+}
+
+// Split identifies one input split: a (file, block) pair plus its replica
+// locations.
+type Split struct {
+	File      string
+	Block     int
+	Bytes     int
+	Records   int
+	Locations []int
+}
+
+// Splits returns one split per block of the named file.
+func (fs *FS) Splits(name string) ([]Split, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	out := make([]Split, len(f.blocks))
+	for i := range f.blocks {
+		out[i] = Split{
+			File:      name,
+			Block:     i,
+			Bytes:     len(f.blocks[i]),
+			Records:   f.nrecs[i],
+			Locations: append([]int(nil), f.locs[i]...),
+		}
+	}
+	return out, nil
+}
+
+// Block returns the raw bytes of one block. The returned slice must not
+// be modified.
+func (fs *FS) Block(name string, idx int) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if idx < 0 || idx >= len(f.blocks) {
+		return nil, fmt.Errorf("dfs: %s has no block %d", name, idx)
+	}
+	return f.blocks[idx], nil
+}
+
+// ReadAll returns the whole contents of a file.
+func (fs *FS) ReadAll(name string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	out := make([]byte, 0, f.size)
+	for _, b := range f.blocks {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// Size returns a file's total byte size.
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return f.size, nil
+}
+
+// Exists reports whether the named file exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// List returns the names of all files with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a file. Removing a missing file is an error.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// RemovePrefix deletes every file whose name has the given prefix and
+// returns how many were removed.
+func (fs *FS) RemovePrefix(prefix string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			delete(fs.files, name)
+			n++
+		}
+	}
+	return n
+}
+
+// TotalBytes returns the sum of all file sizes (used by experiment
+// reporting).
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, f := range fs.files {
+		n += f.size
+	}
+	return n
+}

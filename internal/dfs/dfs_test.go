@@ -1,0 +1,281 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := New(Options{BlockSize: 64, Nodes: 3})
+	w, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append([]byte("hello "))
+	w.Append([]byte("world"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("ReadAll = %q", got)
+	}
+	sz, err := fs.Size("a")
+	if err != nil || sz != 11 {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := New(Options{})
+	if _, err := fs.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("a"); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+}
+
+func TestBlockAlignment(t *testing.T) {
+	fs := New(Options{BlockSize: 10, Nodes: 2})
+	w, _ := fs.Create("f")
+	// Each record is 6 bytes: two can't share a 10-byte block.
+	for i := 0; i < 5; i++ {
+		w.Append([]byte(fmt.Sprintf("rec%02d ", i)))
+	}
+	w.Close()
+	splits, err := fs.Splits("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 5 {
+		t.Fatalf("splits = %d, want 5 (one per record)", len(splits))
+	}
+	for i, s := range splits {
+		if s.Records != 1 {
+			t.Fatalf("split %d has %d records", i, s.Records)
+		}
+		blk, err := fs.Block("f", s.Block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("rec%02d ", i)
+		if string(blk) != want {
+			t.Fatalf("block %d = %q, want %q", i, blk, want)
+		}
+	}
+}
+
+func TestOversizeRecordGetsOwnBlock(t *testing.T) {
+	fs := New(Options{BlockSize: 4})
+	w, _ := fs.Create("f")
+	w.Append([]byte("tiny"))
+	w.Append([]byte("this-record-exceeds-block-size"))
+	w.Append([]byte("more"))
+	w.Close()
+	splits, _ := fs.Splits("f")
+	if len(splits) != 3 {
+		t.Fatalf("splits = %d, want 3", len(splits))
+	}
+	blk, _ := fs.Block("f", 1)
+	if string(blk) != "this-record-exceeds-block-size" {
+		t.Fatalf("block 1 = %q", blk)
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	fs := New(Options{BlockSize: 1, Nodes: 4})
+	w, _ := fs.Create("f")
+	for i := 0; i < 8; i++ {
+		w.Append([]byte{byte('a' + i)})
+	}
+	w.Close()
+	splits, _ := fs.Splits("f")
+	counts := map[int]int{}
+	for _, s := range splits {
+		if len(s.Locations) != 1 {
+			t.Fatalf("replication = %d, want 1", len(s.Locations))
+		}
+		counts[s.Locations[0]]++
+	}
+	for node := 0; node < 4; node++ {
+		if counts[node] != 2 {
+			t.Fatalf("node %d holds %d blocks, want 2 (placement %v)", node, counts[node], counts)
+		}
+	}
+}
+
+func TestReplication(t *testing.T) {
+	fs := New(Options{BlockSize: 1, Nodes: 3, Replication: 2})
+	w, _ := fs.Create("f")
+	w.Append([]byte("x"))
+	w.Close()
+	splits, _ := fs.Splits("f")
+	if len(splits[0].Locations) != 2 {
+		t.Fatalf("locations = %v, want 2 replicas", splits[0].Locations)
+	}
+	if splits[0].Locations[0] == splits[0].Locations[1] {
+		t.Fatalf("replicas on the same node: %v", splits[0].Locations)
+	}
+}
+
+func TestReplicationCappedAtNodes(t *testing.T) {
+	fs := New(Options{Nodes: 2, Replication: 5})
+	w, _ := fs.Create("f")
+	w.Append([]byte("x"))
+	w.Close()
+	splits, _ := fs.Splits("f")
+	if len(splits[0].Locations) != 2 {
+		t.Fatalf("locations = %v, want capped at 2", splits[0].Locations)
+	}
+}
+
+func TestListRemove(t *testing.T) {
+	fs := New(Options{})
+	for _, n := range []string{"out/part-0", "out/part-1", "in/data"} {
+		w, _ := fs.Create(n)
+		w.Append([]byte("x"))
+		w.Close()
+	}
+	got := fs.List("out/")
+	if len(got) != 2 || got[0] != "out/part-0" || got[1] != "out/part-1" {
+		t.Fatalf("List = %v", got)
+	}
+	if !fs.Exists("in/data") {
+		t.Fatal("Exists(in/data) = false")
+	}
+	if err := fs.Remove("in/data"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("in/data") {
+		t.Fatal("file still exists after Remove")
+	}
+	if err := fs.Remove("in/data"); err == nil {
+		t.Fatal("Remove of missing file succeeded")
+	}
+	if n := fs.RemovePrefix("out/"); n != 2 {
+		t.Fatalf("RemovePrefix removed %d, want 2", n)
+	}
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	fs := New(Options{})
+	if _, err := fs.ReadAll("nope"); err == nil {
+		t.Fatal("ReadAll of missing file succeeded")
+	}
+	if _, err := fs.Splits("nope"); err == nil {
+		t.Fatal("Splits of missing file succeeded")
+	}
+	if _, err := fs.Block("nope", 0); err == nil {
+		t.Fatal("Block of missing file succeeded")
+	}
+	if _, err := fs.Size("nope"); err == nil {
+		t.Fatal("Size of missing file succeeded")
+	}
+}
+
+func TestBlockOutOfRange(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("f")
+	w.Append([]byte("x"))
+	w.Close()
+	if _, err := fs.Block("f", 5); err == nil {
+		t.Fatal("Block(5) succeeded")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("empty")
+	w.Close()
+	got, err := fs.ReadAll("empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	splits, err := fs.Splits("empty")
+	if err != nil || len(splits) != 0 {
+		t.Fatalf("Splits = %v, %v", splits, err)
+	}
+}
+
+// TestContentPreservedProperty: concatenating all blocks always equals the
+// concatenation of appended records, regardless of record sizes vs block
+// size.
+func TestContentPreservedProperty(t *testing.T) {
+	f := func(recs [][]byte, blockSize uint8) bool {
+		fs := New(Options{BlockSize: int(blockSize%64) + 1, Nodes: 3})
+		w, _ := fs.Create("f")
+		var want []byte
+		for _, r := range recs {
+			w.Append(r)
+			want = append(want, r...)
+		}
+		w.Close()
+		got, err := fs.ReadAll("f")
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	fs := New(Options{})
+	w, _ := fs.Create("a")
+	w.Append(make([]byte, 100))
+	w.Close()
+	w, _ = fs.Create("b")
+	w.Append(make([]byte, 50))
+	w.Close()
+	if got := fs.TotalBytes(); got != 150 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+// TestConcurrentAccess: concurrent writers to distinct files plus
+// concurrent readers must be safe (the engine's parallel tasks do this).
+func TestConcurrentAccess(t *testing.T) {
+	fs := New(Options{BlockSize: 64, Nodes: 4})
+	done := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			wr, err := fs.Create(fmt.Sprintf("f%d", w))
+			if err != nil {
+				done <- err
+				return
+			}
+			for i := 0; i < 100; i++ {
+				wr.Append([]byte(fmt.Sprintf("w%d-rec%d\n", w, i)))
+			}
+			done <- wr.Close()
+		}(w)
+	}
+	for r := 0; r < 8; r++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				fs.List("f")
+				fs.TotalBytes()
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < 8; w++ {
+		data, err := fs.ReadAll(fmt.Sprintf("f%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bytes.Split(bytes.TrimSpace(data), []byte{'\n'})) != 100 {
+			t.Fatalf("writer %d lost records", w)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package editdist
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/mapreduce"
+)
+
+func TestDistanceKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"ab", "ba", 2},
+		{"göttingen", "gottingen", 1}, // unicode-aware
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Distance(c.b, c.a); got != c.want {
+			t.Errorf("Distance(%q, %q) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	clean := func(s string) string {
+		if len(s) > 12 {
+			s = s[:12]
+		}
+		return s
+	}
+	// Identity and upper bound.
+	f := func(a, b string) bool {
+		a, b = clean(a), clean(b)
+		d := Distance(a, b)
+		max := len([]rune(a))
+		if lb := len([]rune(b)); lb > max {
+			max = lb
+		}
+		return Distance(a, a) == 0 && d >= 0 && d <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	// Triangle inequality.
+	tri := func(a, b, c string) bool {
+		a, b, c = clean(a), clean(b), clean(c)
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithinKAgreesWithDistance over random short strings for all small k.
+func TestWithinKAgreesWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := "abcd"
+	randStr := func() string {
+		n := rng.Intn(10)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	for iter := 0; iter < 20000; iter++ {
+		a, b := randStr(), randStr()
+		for k := 0; k <= 4; k++ {
+			want := Distance(a, b) <= k
+			if got := WithinK(a, b, k); got != want {
+				t.Fatalf("WithinK(%q, %q, %d) = %v, Distance = %d", a, b, k, got, Distance(a, b))
+			}
+		}
+	}
+}
+
+// edCorpus builds strings with planted near-duplicates.
+func edCorpus(rng *rand.Rand, n int) []string {
+	words := []string{"similarity", "parallel", "mapreduce", "database", "cluster", "token"}
+	out := make([]string, 0, n)
+	var base string
+	for i := 0; i < n; i++ {
+		if i%3 == 0 || base == "" {
+			base = words[rng.Intn(len(words))] + words[rng.Intn(len(words))]
+		}
+		s := []byte(base)
+		for e := rng.Intn(3); e > 0 && len(s) > 1; e-- {
+			p := rng.Intn(len(s))
+			switch rng.Intn(3) {
+			case 0:
+				s[p] = byte('a' + rng.Intn(26))
+			case 1:
+				s = append(s[:p], s[p+1:]...)
+			case 2:
+				s = append(s[:p], append([]byte{byte('a' + rng.Intn(26))}, s[p:]...)...)
+			}
+		}
+		out = append(out, string(s))
+	}
+	return out
+}
+
+// TestSelfJoinMatchesBruteForce over random corpora and thresholds.
+func TestSelfJoinMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		strs := edCorpus(rng, 60)
+		for _, k := range []int{0, 1, 2, 3} {
+			o := Options{K: k, Q: 3}
+			want := BruteForce(strs, o)
+			got := SelfJoin(strs, o)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d k=%d: got %v, want %v", seed, k, got, want)
+			}
+		}
+	}
+}
+
+func TestSelfJoinShortStrings(t *testing.T) {
+	strs := []string{"ab", "ac", "a", "abcd", "xyz", "", "b"}
+	for _, k := range []int{1, 2} {
+		o := Options{K: k, Q: 3}
+		want := BruteForce(strs, o)
+		got := SelfJoin(strs, o)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: got %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCountFilterAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	strs := edCorpus(rng, 80)
+	o := Options{K: 2, Q: 3}
+	for i := 0; i < len(strs); i++ {
+		for j := i + 1; j < len(strs); j++ {
+			if Distance(strs[i], strs[j]) <= o.K {
+				gi, gj := grams(strs[i], o.Q), grams(strs[j], o.Q)
+				if !countFilterOK(gi, gj, o) {
+					t.Fatalf("count filter pruned %q ~ %q (d=%d)",
+						strs[i], strs[j], Distance(strs[i], strs[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestMapReduceSelfJoinMatchesSingleNode: the two-job MapReduce version
+// equals the single-node kernel (and thus brute force).
+func TestMapReduceSelfJoinMatchesSingleNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	strs := edCorpus(rng, 80)
+	o := Options{K: 2, Q: 3}
+	want := BruteForce(strs, o)
+
+	fs := dfs.New(dfs.Options{BlockSize: 512, Nodes: 4})
+	lines := make([]string, len(strs))
+	for i, s := range strs {
+		lines[i] = fmt.Sprintf("%d\t%s", i, s)
+	}
+	if err := mapreduce.WriteTextFile(fs, "in", lines); err != nil {
+		t.Fatal(err)
+	}
+	outPrefix, ms, err := MapReduceSelfJoin(fs, "in", "work", o, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("jobs = %d", len(ms))
+	}
+	outLines, err := mapreduce.ReadLines(fs, outPrefix+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SortOutput(outLines)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestMapReduceSelfJoinBadInput(t *testing.T) {
+	fs := dfs.New(dfs.Options{Nodes: 1})
+	if err := mapreduce.WriteTextFile(fs, "in", []string{"not-tab-separated"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MapReduceSelfJoin(fs, "in", "w", Options{K: 1}, 2, 1); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}
+
+func TestParseIDLine(t *testing.T) {
+	id, s, err := parseIDLine("42\thello\tworld")
+	if err != nil || id != 42 || s != "hello\tworld" {
+		t.Fatalf("parseIDLine = %d, %q, %v", id, s, err)
+	}
+	if _, _, err := parseIDLine("noid"); err == nil {
+		t.Fatal("missing tab accepted")
+	}
+	if _, _, err := parseIDLine("x\ty"); err == nil {
+		t.Fatal("non-numeric id accepted")
+	}
+}
+
+func BenchmarkWithinK(b *testing.B) {
+	a := strings.Repeat("similarity join ", 8)
+	c := strings.Replace(a, "join", "jion", 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WithinK(a, c, 3)
+	}
+}
+
+func BenchmarkSelfJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	strs := edCorpus(rng, 300)
+	o := Options{K: 2, Q: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelfJoin(strs, o)
+	}
+}

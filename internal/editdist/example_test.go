@@ -1,0 +1,26 @@
+package editdist_test
+
+import (
+	"fmt"
+
+	"fuzzyjoin/internal/editdist"
+)
+
+// ExampleSelfJoin matches strings within edit distance 1.
+func ExampleSelfJoin() {
+	strs := []string{"mapreduce", "mapreduze", "hadoop"}
+	for _, p := range editdist.SelfJoin(strs, editdist.Options{K: 1}) {
+		fmt.Printf("%q ~ %q (d=%d)\n", strs[p.I], strs[p.J], p.Dist)
+	}
+	// Output:
+	// "mapreduce" ~ "mapreduze" (d=1)
+}
+
+// ExampleWithinK is the banded verifier.
+func ExampleWithinK() {
+	fmt.Println(editdist.WithinK("kitten", "sitting", 3))
+	fmt.Println(editdist.WithinK("kitten", "sitting", 2))
+	// Output:
+	// true
+	// false
+}

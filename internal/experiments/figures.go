@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fuzzyjoin/internal/svgplot"
+)
+
+// SVG renderings of the figure-shaped results, so `ssjexp -svg <dir>`
+// regenerates the paper's figures as images (running-time curves and
+// stacked per-stage bars), not just tables.
+
+func comboSeries(times [][]ComboTime) []svgplot.Series {
+	out := make([]svgplot.Series, len(PaperCombos))
+	for j, c := range PaperCombos {
+		s := svgplot.Series{Name: c.String()}
+		for i := range times {
+			ct := times[i][j]
+			if ct.OOM {
+				s.Y = append(s.Y, math.NaN())
+			} else {
+				s.Y = append(s.Y, ct.Total.Seconds())
+			}
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// SVG renders the speedup figure (Figures 9 and 13).
+func (r *SpeedupResult) SVG() string {
+	x := make([]float64, len(r.Nodes))
+	for i, n := range r.Nodes {
+		x[i] = float64(n)
+	}
+	return svgplot.Line(svgplot.Chart{
+		Title:  r.Title,
+		XLabel: "# Nodes",
+		YLabel: "Time (seconds)",
+		X:      x,
+		Series: comboSeries(r.Times),
+	})
+}
+
+// RelativeSVG renders the relative-scale view (Figure 10): T(min)/T(n)
+// per combo plus the ideal line.
+func (r *SpeedupResult) RelativeSVG() string {
+	x := make([]float64, len(r.Nodes))
+	ideal := svgplot.Series{Name: "Ideal"}
+	for i, n := range r.Nodes {
+		x[i] = float64(n)
+		ideal.Y = append(ideal.Y, float64(n)/float64(r.Nodes[0]))
+	}
+	series := make([]svgplot.Series, 0, len(PaperCombos)+1)
+	for j, c := range PaperCombos {
+		series = append(series, svgplot.Series{Name: c.String(), Y: r.Speedup(j)})
+	}
+	series = append(series, ideal)
+	return svgplot.Line(svgplot.Chart{
+		Title:  "Relative speedup (Figure 10 view)",
+		XLabel: "# Nodes",
+		YLabel: "Speedup = T(min)/T(n)",
+		X:      x,
+		Series: series,
+	})
+}
+
+// SVG renders the scaleup figure (Figures 11 and 14).
+func (r *ScaleupResult) SVG() string {
+	x := make([]float64, len(r.Nodes))
+	labels := make([]string, len(r.Nodes))
+	for i, n := range r.Nodes {
+		x[i] = float64(n)
+		labels[i] = fmt.Sprintf("%d/x%d", n, r.Factors[i])
+	}
+	return svgplot.Line(svgplot.Chart{
+		Title:       r.Title,
+		XLabel:      "# Nodes and dataset size",
+		YLabel:      "Time (seconds)",
+		X:           x,
+		XTickLabels: labels,
+		Series:      comboSeries(r.Times),
+	})
+}
+
+func stackedFromTotals(title string, groups []string, times [][]ComboTime) svgplot.StackedBars {
+	sb := svgplot.StackedBars{
+		Title:  title,
+		YLabel: "Time (seconds)",
+		Groups: groups,
+		Layers: []string{"stage 1 (token ordering)", "stage 2 (kernel)", "stage 3 (record join)"},
+	}
+	for _, c := range PaperCombos {
+		sb.Bars = append(sb.Bars, c.String())
+	}
+	for i := range times {
+		var group [][]float64
+		for j := range times[i] {
+			ct := times[i][j]
+			if ct.OOM {
+				group = append(group, []float64{math.NaN(), math.NaN(), math.NaN()})
+				continue
+			}
+			group = append(group, []float64{
+				ct.Stages[0].Seconds(), ct.Stages[1].Seconds(), ct.Stages[2].Seconds(),
+			})
+		}
+		sb.Value = append(sb.Value, group)
+	}
+	return sb
+}
+
+// SVG renders the Figure 8 stacked bars.
+func (r *Fig8Result) SVG() string {
+	groups := make([]string, len(r.Factors))
+	for i, f := range r.Factors {
+		groups[i] = fmt.Sprintf("DBLP x%d", f)
+	}
+	return svgplot.Bars(stackedFromTotals("Figure 8: self-join total running time, 10 nodes",
+		groups, r.Times))
+}
+
+// SVG renders the Figure 12 stacked bars.
+func (r *Fig12Result) SVG() string {
+	groups := make([]string, len(r.Factors))
+	for i, f := range r.Factors {
+		groups[i] = fmt.Sprintf("x%d", f)
+	}
+	return svgplot.Bars(stackedFromTotals("Figure 12: R-S join total running time, 10 nodes",
+		groups, r.Times))
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+)
+
+func speedupFixture() *SpeedupResult {
+	mk := func(total float64, oom bool) []ComboTime {
+		row := make([]ComboTime, len(PaperCombos))
+		for j, c := range PaperCombos {
+			row[j] = ComboTime{Combo: c, Total: time.Duration(total * float64(time.Second))}
+		}
+		if oom {
+			row[len(row)-1].OOM = true
+			row[len(row)-1].Total = 0
+		}
+		return row
+	}
+	return &SpeedupResult{
+		Title: "fixture speedup", Factor: 10, Nodes: []int{2, 4, 10},
+		Times: [][]ComboTime{mk(1.0, false), mk(0.6, false), mk(0.4, true)},
+	}
+}
+
+func assertSVG(t *testing.T, svg string, wants ...string) {
+	t.Helper()
+	var any struct{}
+	if err := xml.Unmarshal([]byte(svg), &any); err != nil {
+		t.Fatalf("not well-formed XML: %v", err)
+	}
+	for _, w := range wants {
+		if !strings.Contains(svg, w) {
+			t.Fatalf("SVG missing %q", w)
+		}
+	}
+}
+
+func TestSpeedupSVG(t *testing.T) {
+	r := speedupFixture()
+	assertSVG(t, r.SVG(), "fixture speedup", "# Nodes", PaperCombos[0].String(), "✕")
+	assertSVG(t, r.RelativeSVG(), "Ideal", "Speedup")
+}
+
+func TestScaleupSVG(t *testing.T) {
+	r := &ScaleupResult{
+		Title: "fixture scaleup", Nodes: []int{2, 10}, Factors: []int{5, 25},
+		Times: [][]ComboTime{speedupFixture().Times[0], speedupFixture().Times[2]},
+	}
+	assertSVG(t, r.SVG(), "fixture scaleup", "2/x5", "10/x25")
+}
+
+func TestFig8And12SVG(t *testing.T) {
+	stage := func(a, b, c float64, oom bool) ComboTime {
+		ct := ComboTime{
+			Stages: [3]time.Duration{
+				time.Duration(a * float64(time.Second)),
+				time.Duration(b * float64(time.Second)),
+				time.Duration(c * float64(time.Second)),
+			},
+			OOM: oom,
+		}
+		ct.Total = ct.Stages[0] + ct.Stages[1] + ct.Stages[2]
+		return ct
+	}
+	row := []ComboTime{stage(1, 2, 1, false), stage(1, 2, 1, false), stage(0, 0, 0, true)}
+	f8 := &Fig8Result{Factors: []int{5, 25}, Times: [][]ComboTime{row, row}}
+	assertSVG(t, f8.SVG(), "Figure 8", "DBLP x25", "stage 2 (kernel)", "OOM")
+	f12 := &Fig12Result{Factors: []int{5, 25}, Times: [][]ComboTime{row, row}}
+	assertSVG(t, f12.SVG(), "Figure 12", "x25")
+}

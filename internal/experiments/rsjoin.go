@@ -1,0 +1,92 @@
+package experiments
+
+import "fmt"
+
+// ---- Figure 12: R-S join total running time ----------------------------
+
+// Fig12Result reproduces Figure 12: the R-S join (DBLP×n ⋈ CITESEERX×n)
+// on the 10-node cluster. In the paper BTO-PK-OPRJ runs out of memory at
+// ×25; the same cell reports OOM here when the memory budget trips.
+type Fig12Result struct {
+	Factors []int
+	Times   [][]ComboTime
+}
+
+// Fig12 runs the experiment for n ∈ {5, 10, 25}.
+func (s *Suite) Fig12() (*Fig12Result, error) {
+	res := &Fig12Result{Factors: []int{5, 10, 25}}
+	for _, f := range res.Factors {
+		set, err := s.rsSet(f, 10)
+		if err != nil {
+			return nil, err
+		}
+		var row []ComboTime
+		for _, c := range PaperCombos {
+			row = append(row, set.comboTime(c, spec(10)))
+		}
+		res.Times = append(res.Times, row)
+	}
+	return res, nil
+}
+
+// Render prints the figure's data.
+func (r *Fig12Result) Render() string {
+	header := []string{"datasets", "combo", "stage1(s)", "stage2(s)", "stage3(s)", "total(s)"}
+	var rows [][]string
+	for i, f := range r.Factors {
+		for _, ct := range r.Times[i] {
+			rows = append(rows, []string{
+				fmt.Sprintf("DBLPxCITESEERX x%d", f), ct.Combo.String(),
+				seconds(ct.Stages[0], false),
+				seconds(ct.Stages[1], false),
+				seconds(ct.Stages[2], ct.OOM),
+				seconds(ct.Total, ct.OOM),
+			})
+		}
+	}
+	return "Figure 12: R-S join total running time, 10 nodes\n" + table(header, rows)
+}
+
+// ---- Figure 13: R-S join speedup ---------------------------------------
+
+// Fig13 runs the R-S speedup experiment: ×10 datasets on 2–10 nodes.
+func (s *Suite) Fig13() (*SpeedupResult, error) {
+	res := &SpeedupResult{Title: "Figure 13: R-S join speedup, DBLPxCITESEERX x10",
+		Factor: 10, Nodes: []int{2, 4, 6, 8, 10}}
+	for _, n := range res.Nodes {
+		set, err := s.rsSet(res.Factor, n)
+		if err != nil {
+			return nil, err
+		}
+		var row []ComboTime
+		for _, c := range PaperCombos {
+			row = append(row, set.comboTime(c, spec(n)))
+		}
+		res.Times = append(res.Times, row)
+	}
+	return res, nil
+}
+
+// ---- Figure 14: R-S join scaleup ----------------------------------------
+
+// Fig14 runs the R-S scaleup experiment: (2, ×5) … (10, ×25). In the
+// paper BTO-PK-OPRJ runs out of memory from the ×20 cell on; the memory
+// budget reproduces that cliff.
+func (s *Suite) Fig14() (*ScaleupResult, error) {
+	res := &ScaleupResult{
+		Title: "Figure 14: R-S join scaleup (dataset grows 2.5x per node)",
+		Nodes: []int{2, 4, 6, 8, 10}, Factors: []int{5, 10, 15, 20, 25},
+	}
+	for i, n := range res.Nodes {
+		set, err := s.rsSet(res.Factors[i], n)
+		if err != nil {
+			return nil, err
+		}
+		var row []ComboTime
+		for _, c := range PaperCombos {
+			row = append(row, set.comboTime(c, spec(n)))
+		}
+		res.Times = append(res.Times, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import "fuzzyjoin/internal/cluster"
+
+// Suite caches executed stage sets across experiments so figures sharing
+// a (workload, cluster) cell (e.g. Figure 9 and Table 1) run each job
+// once.
+type Suite struct {
+	w        *workload
+	selfSets map[cellKey]*stageSet
+	rsSets   map[cellKey]*stageSet
+}
+
+type cellKey struct{ factor, nodes int }
+
+// NewSuite prepares a suite for the given parameters.
+func NewSuite(p Params) *Suite {
+	return &Suite{
+		w:        newWorkload(p),
+		selfSets: map[cellKey]*stageSet{},
+		rsSets:   map[cellKey]*stageSet{},
+	}
+}
+
+func (s *Suite) selfSet(factor, nodes int) (*stageSet, error) {
+	k := cellKey{factor, nodes}
+	if set, ok := s.selfSets[k]; ok {
+		return set, nil
+	}
+	set, err := s.w.runSelfStageSet(factor, nodes)
+	if err != nil {
+		return nil, err
+	}
+	s.selfSets[k] = set
+	return set, nil
+}
+
+func (s *Suite) rsSet(factor, nodes int) (*stageSet, error) {
+	k := cellKey{factor, nodes}
+	if set, ok := s.rsSets[k]; ok {
+		return set, nil
+	}
+	set, err := s.w.runRSStageSet(factor, nodes)
+	if err != nil {
+		return nil, err
+	}
+	s.rsSets[k] = set
+	return set, nil
+}
+
+func spec(nodes int) cluster.Spec { return cluster.Default(nodes) }

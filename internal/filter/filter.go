@@ -1,0 +1,148 @@
+// Package filter implements the candidate-pruning filters used by the
+// set-similarity join kernels: the length filter (Arasu et al., VLDB 2006),
+// the positional filter, and the suffix filter (both from Xiao et al.'s
+// PPJoin/PPJoin+, WWW 2008). The prefix filter itself is realized by the
+// Stage 2 routing (only prefix tokens are used as MapReduce keys), with
+// the prefix-length math in internal/simfn.
+//
+// All filters are admissible: they never prune a pair whose similarity
+// meets the threshold. The property tests in this package check that
+// directly against brute-force similarity.
+//
+// Token sets are sorted uint32 rank slices, rarest-first (see
+// internal/tokenize).
+package filter
+
+import (
+	"sort"
+
+	"fuzzyjoin/internal/simfn"
+)
+
+// Length reports whether two sets of sizes lx and ly can possibly reach
+// similarity t under f (the length filter).
+func Length(f simfn.Func, lx, ly int, t float64) bool {
+	lo, hi := f.LengthBounds(lx, t)
+	return ly >= lo && ly <= hi
+}
+
+// Positional is the PPJoin positional filter. For a token match at
+// (0-indexed) positions i in x and j in y, with a accumulated overlap
+// *including* this match, the best total overlap still achievable is
+// a + min(lx−i−1, ly−j−1). It reports whether that can reach need.
+func Positional(lx, ly, i, j, a, need int) bool {
+	rest := lx - i - 1
+	if r := ly - j - 1; r < rest {
+		rest = r
+	}
+	return a+rest >= need
+}
+
+// maxDepth bounds the suffix-filter recursion, as in PPJoin+ (the paper
+// found depth 2 a good default).
+const maxDepth = 2
+
+// Suffix is the PPJoin+ suffix filter. For a *first* token match of the
+// pair (x, y) at 0-indexed positions i and j, it estimates a lower bound
+// on the Hamming distance of the suffixes x[i+1:], y[j+1:] and reports
+// whether the pair can still reach need total overlap. Because the match
+// is the first one, the regions before i and j are disjoint, so the
+// suffixes must contribute at least need−1 overlap.
+func Suffix(x, y []uint32, i, j, need int) bool {
+	xs, ys := x[i+1:], y[j+1:]
+	hmax := len(xs) + len(ys) - 2*(need-1)
+	if hmax < 0 {
+		return false
+	}
+	return suffixHamming(xs, ys, hmax, 1) <= hmax
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// suffixHamming returns a lower bound on the Hamming distance
+// |x|+|y|−2|x∩y| between the sorted token arrays x and y, never exceeding
+// the true distance. Values greater than hmax mean "prune"; the bound
+// hmax+1 is returned when the probe token cannot occur inside its
+// admissible window.
+func suffixHamming(x, y []uint32, hmax, d int) int {
+	if len(x) == 0 || len(y) == 0 {
+		// With one side empty the Hamming distance is exactly the other
+		// side's length.
+		return len(x) + len(y)
+	}
+	if d > maxDepth || len(y) == 1 || len(x) == 1 {
+		return abs(len(x) - len(y))
+	}
+	mid := len(y) / 2
+	w := y[mid]
+	// Admissible window for w's position in x: if w sat further away, the
+	// length imbalance of the partitions alone would exceed hmax.
+	o := (hmax - abs(len(x)-len(y))) / 2
+	var ol, or int
+	if len(x) < len(y) {
+		ol = 1
+	} else {
+		or = 1
+	}
+	dl := abs(len(x) - len(y))
+	l := mid - o - ol*dl
+	r := mid + o + or*dl
+	xl, xr, found, diff := partition(x, w, l, r)
+	if !found {
+		return hmax + 1
+	}
+	yl, yr := y[:mid], y[mid+1:]
+	h := abs(len(xl)-len(yl)) + abs(len(xr)-len(yr)) + diff
+	if h > hmax {
+		return h
+	}
+	hl := suffixHamming(xl, yl, hmax-abs(len(xr)-len(yr))-diff, d+1)
+	h = hl + abs(len(xr)-len(yr)) + diff
+	if h > hmax {
+		return h
+	}
+	hr := suffixHamming(xr, yr, hmax-hl-diff, d+1)
+	return hl + hr + diff
+}
+
+// partition splits the sorted array s around probe token w, requiring w's
+// (insertion) position to fall inside the window [l, r] — the window may
+// extend beyond the array bounds; positions are compared unclamped. It
+// returns the elements below w, the elements above w, whether the window
+// constraint held, and 1 if w itself is absent from s (0 if present).
+func partition(s []uint32, w uint32, l, r int) (sl, sr []uint32, found bool, diff int) {
+	if l > r {
+		return nil, nil, false, 1
+	}
+	p := sort.Search(len(s), func(i int) bool { return s[i] >= w })
+	if p < len(s) && s[p] == w {
+		if p < l || p > r {
+			return nil, nil, false, 1
+		}
+		return s[:p], s[p+1:], true, 0
+	}
+	// w absent: its insertion position p splits s; allow the window one
+	// extra slot on the right so an insertion just past r is not treated
+	// as a positional violation (admissibility over pruning power).
+	if p < l || p > r+1 {
+		return nil, nil, false, 1
+	}
+	return s[:p], s[p:], true, 1
+}
+
+// Stack selects which filters a kernel applies beyond the prefix filter.
+// It exists so the filter-ablation benchmark can switch filters on and
+// off; production callers use AllFilters.
+type Stack struct {
+	Length     bool
+	Positional bool
+	Suffix     bool
+}
+
+// AllFilters enables the full PPJoin+ stack.
+var AllFilters = Stack{Length: true, Positional: true, Suffix: true}

@@ -1,0 +1,238 @@
+package filter
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fuzzyjoin/internal/simfn"
+)
+
+func randomSet(rng *rand.Rand, universe, maxLen int) []uint32 {
+	n := 1 + rng.Intn(maxLen)
+	seen := map[uint32]bool{}
+	out := []uint32{}
+	for len(out) < n {
+		v := uint32(rng.Intn(universe))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// similarPair derives a second set from x by dropping/adding a few tokens,
+// so high-similarity pairs occur frequently in the tests.
+func similarPair(rng *rand.Rand, universe int, x []uint32) []uint32 {
+	y := append([]uint32(nil), x...)
+	edits := rng.Intn(3)
+	for e := 0; e < edits && len(y) > 1; e++ {
+		switch rng.Intn(2) {
+		case 0:
+			i := rng.Intn(len(y))
+			y = append(y[:i], y[i+1:]...)
+		case 1:
+			v := uint32(rng.Intn(universe))
+			found := false
+			for _, t := range y {
+				if t == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				y = append(y, v)
+			}
+		}
+	}
+	sort.Slice(y, func(i, j int) bool { return y[i] < y[j] })
+	return y
+}
+
+func TestLengthFilter(t *testing.T) {
+	if !Length(simfn.Jaccard, 10, 8, 0.8) {
+		t.Fatal("Length rejected an admissible pair (10, 8)")
+	}
+	if Length(simfn.Jaccard, 10, 7, 0.8) {
+		t.Fatal("Length accepted (10, 7) at τ=0.8")
+	}
+	if Length(simfn.Jaccard, 10, 13, 0.8) {
+		t.Fatal("Length accepted (10, 13) at τ=0.8")
+	}
+}
+
+// TestLengthAdmissible: the length filter never rejects a truly similar pair.
+func TestLengthAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 5000; iter++ {
+		x := randomSet(rng, 24, 12)
+		y := similarPair(rng, 24, x)
+		for _, tau := range []float64{0.5, 0.8, 0.9} {
+			if simfn.Jaccard.Sim(x, y) >= tau && !Length(simfn.Jaccard, len(x), len(y), tau) {
+				t.Fatalf("length filter pruned similar pair x=%v y=%v τ=%v", x, y, tau)
+			}
+		}
+	}
+}
+
+func TestPositionalBasic(t *testing.T) {
+	// x and y of length 5, match at last position of both, a=1: at most 1
+	// total overlap remains possible.
+	if Positional(5, 5, 4, 4, 1, 2) {
+		t.Fatal("Positional accepted impossible overlap")
+	}
+	if !Positional(5, 5, 0, 0, 1, 5) {
+		t.Fatal("Positional rejected feasible overlap")
+	}
+}
+
+// firstMatch returns the 0-indexed positions of the first common token,
+// scanning in sorted order, or ok=false.
+func firstMatch(x, y []uint32) (i, j int, ok bool) {
+	for i = 0; i < len(x); i++ {
+		for j = 0; j < len(y); j++ {
+			if x[i] == y[j] {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// TestPositionalAdmissible: at the first match, with a=1, the positional
+// filter must pass every truly similar pair.
+func TestPositionalAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 5000; iter++ {
+		x := randomSet(rng, 24, 12)
+		y := similarPair(rng, 24, x)
+		for _, tau := range []float64{0.5, 0.8} {
+			if simfn.Jaccard.Sim(x, y) < tau {
+				continue
+			}
+			i, j, ok := firstMatch(x, y)
+			if !ok {
+				continue
+			}
+			need := simfn.Jaccard.OverlapThreshold(len(x), len(y), tau)
+			if !Positional(len(x), len(y), i, j, 1, need) {
+				t.Fatalf("positional filter pruned similar pair x=%v y=%v τ=%v (i=%d j=%d need=%d)",
+					x, y, tau, i, j, need)
+			}
+		}
+	}
+}
+
+// TestSuffixAdmissible is the key property: the suffix filter never prunes
+// a pair whose similarity meets the threshold, across random and
+// engineered-similar pairs.
+func TestSuffixAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20000; iter++ {
+		x := randomSet(rng, 20, 14)
+		var y []uint32
+		if iter%2 == 0 {
+			y = similarPair(rng, 20, x)
+		} else {
+			y = randomSet(rng, 20, 14)
+		}
+		for _, tau := range []float64{0.5, 0.7, 0.8, 0.9} {
+			if simfn.Jaccard.Sim(x, y) < tau {
+				continue
+			}
+			i, j, ok := firstMatch(x, y)
+			if !ok {
+				continue
+			}
+			need := simfn.Jaccard.OverlapThreshold(len(x), len(y), tau)
+			if !Suffix(x, y, i, j, need) {
+				t.Fatalf("suffix filter pruned similar pair x=%v y=%v τ=%v (i=%d j=%d need=%d sim=%v)",
+					x, y, tau, i, j, need, simfn.Jaccard.Sim(x, y))
+			}
+		}
+	}
+}
+
+// TestSuffixPrunes checks the filter actually rejects some clearly
+// dissimilar candidates (effectiveness, not just admissibility).
+func TestSuffixPrunes(t *testing.T) {
+	// Share exactly one token (5); everything else disjoint. need high.
+	x := []uint32{5, 10, 11, 12, 13, 14, 15, 16}
+	y := []uint32{5, 30, 31, 32, 33, 34, 35, 36}
+	need := simfn.Jaccard.OverlapThreshold(len(x), len(y), 0.8) // 8·0.8·2/1.8 ≈ 8
+	if Suffix(x, y, 0, 0, need) {
+		t.Fatal("suffix filter failed to prune a disjoint-suffix pair")
+	}
+}
+
+func TestSuffixHammingLowerBound(t *testing.T) {
+	// The estimate must never exceed the true Hamming distance.
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 20000; iter++ {
+		x := randomSet(rng, 16, 10)
+		y := randomSet(rng, 16, 10)
+		trueH := len(x) + len(y) - 2*simfn.Overlap(x, y)
+		for _, hmax := range []int{0, 1, 2, 4, 8, 32} {
+			est := suffixHamming(x, y, hmax, 1)
+			if est <= hmax && est > trueH {
+				t.Fatalf("suffixHamming overestimated within budget: x=%v y=%v hmax=%d est=%d true=%d",
+					x, y, hmax, est, trueH)
+			}
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s := []uint32{1, 3, 5, 7, 9}
+	sl, sr, found, diff := partition(s, 5, 0, 4)
+	if !found || diff != 0 || len(sl) != 2 || len(sr) != 2 {
+		t.Fatalf("partition found=%v diff=%d sl=%v sr=%v", found, diff, sl, sr)
+	}
+	sl, sr, found, diff = partition(s, 4, 0, 4)
+	if !found || diff != 1 || len(sl) != 2 || len(sr) != 3 {
+		t.Fatalf("partition(absent) found=%v diff=%d sl=%v sr=%v", found, diff, sl, sr)
+	}
+	// Token 10 would insert at position 5; with window [0,3] even the
+	// one-slot leniency (r+1 = 4) excludes it.
+	_, _, found, _ = partition(s, 10, 0, 3)
+	if found {
+		t.Fatal("partition accepted token above window")
+	}
+	// Present token outside the window is rejected exactly.
+	_, _, found, _ = partition(s, 9, 0, 3)
+	if found {
+		t.Fatal("partition accepted present token above window")
+	}
+	_, _, found, _ = partition(s, 5, 3, 1)
+	if found {
+		t.Fatal("partition accepted inverted window")
+	}
+}
+
+func TestStackDefaults(t *testing.T) {
+	if !AllFilters.Length || !AllFilters.Positional || !AllFilters.Suffix {
+		t.Fatal("AllFilters must enable everything")
+	}
+	var none Stack
+	if none.Length || none.Positional || none.Suffix {
+		t.Fatal("zero Stack must disable everything")
+	}
+}
+
+func BenchmarkSuffixFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := randomSet(rng, 1000, 40)
+	y := randomSet(rng, 1000, 40)
+	i, j, ok := firstMatch(x, y)
+	if !ok {
+		x[0], y[0] = 7, 7
+		i, j = 0, 0
+	}
+	need := simfn.Jaccard.OverlapThreshold(len(x), len(y), 0.8)
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		Suffix(x, y, i, j, need)
+	}
+}

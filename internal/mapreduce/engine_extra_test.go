@@ -1,0 +1,282 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFormatForResolution(t *testing.T) {
+	j := Job{
+		InputFormat: Text,
+		InputFormatsByPrefix: map[string]Format{
+			"pairs/":      Pairs,
+			"pairs/deep/": Text,
+			"exact":       Pairs,
+		},
+	}
+	cases := []struct {
+		file string
+		want Format
+	}{
+		{"plain", Text},
+		{"exact", Pairs},
+		{"pairs/part-r-00000", Pairs},
+		{"pairs/deep/part-r-00000", Text}, // longest prefix wins
+		{"pairsX", Text},                  // prefix must match exactly
+	}
+	for _, c := range cases {
+		if got := j.formatFor(c.file); got != c.want {
+			t.Errorf("formatFor(%q) = %v, want %v", c.file, got, c.want)
+		}
+	}
+}
+
+// statefulMapper counts records per task instance; without TaskLocal the
+// shared instance would observe every task's records.
+type statefulMapper struct {
+	instances *int64
+	records   int
+}
+
+func (m *statefulMapper) NewTaskInstance() any {
+	atomic.AddInt64(m.instances, 1)
+	return &statefulMapper{instances: m.instances}
+}
+
+func (m *statefulMapper) Map(_ *Context, _, value []byte, out Emitter) error {
+	m.records++
+	return out.Emit(value, []byte(strconv.Itoa(m.records)))
+}
+
+func TestTaskLocalInstancesPerTask(t *testing.T) {
+	fs := newFS()
+	// Tiny blocks so several map tasks run.
+	w, err := fs.Create("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		w.Append([]byte(fmt.Sprintf("line%d\n", i)))
+	}
+	w.Close()
+	var instances int64
+	_, err = Run(Job{
+		Name: "tasklocal", FS: fs, Inputs: []string{"in"}, InputFormat: Text,
+		Output: "out", Mapper: &statefulMapper{instances: &instances},
+		Reducer: firstValueReducer, Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, _ := fs.Splits("in")
+	if instances != int64(len(splits)) {
+		t.Fatalf("instances = %d, want one per split (%d)", instances, len(splits))
+	}
+	// Every record must have been the first (and only counters reset per
+	// task when blocks hold one line each).
+	pairs, _ := ReadOutputPairs(fs, "out/")
+	for _, p := range pairs {
+		n, _ := strconv.Atoi(string(p.Value))
+		if n < 1 {
+			t.Fatalf("per-instance counter = %d", n)
+		}
+	}
+}
+
+func TestEmitterArenaLargeValues(t *testing.T) {
+	// Values larger than a quarter chunk take the direct-allocation path;
+	// everything must round-trip bit-exact.
+	e := &bufEmitter{}
+	big := bytes.Repeat([]byte("x"), emitterChunkSize)
+	small := []byte("small")
+	if err := e.Emit(small, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Emit(big, small); err != nil {
+		t.Fatal(err)
+	}
+	// Force many chunk rollovers.
+	for i := 0; i < 10000; i++ {
+		v := []byte(strconv.Itoa(i))
+		if err := e.Emit(v, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(e.pairs[0].Key, small) || !bytes.Equal(e.pairs[0].Value, big) {
+		t.Fatal("large value corrupted")
+	}
+	for i := 0; i < 10000; i++ {
+		want := strconv.Itoa(i)
+		if string(e.pairs[2+i].Key) != want || string(e.pairs[2+i].Value) != want {
+			t.Fatalf("pair %d corrupted: %q/%q", i, e.pairs[2+i].Key, e.pairs[2+i].Value)
+		}
+	}
+}
+
+func TestEmitterArenaStability(t *testing.T) {
+	// Earlier slices must stay valid as later emissions roll chunks.
+	e := &bufEmitter{}
+	var wants []string
+	for i := 0; i < 50000; i++ {
+		s := fmt.Sprintf("key-%d", i)
+		wants = append(wants, s)
+		if err := e.Emit([]byte(s), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range wants {
+		if string(e.pairs[i].Key) != w {
+			t.Fatalf("pair %d = %q, want %q", i, e.pairs[i].Key, w)
+		}
+	}
+}
+
+// TestCombinerWithGroupingComparator: the combiner must group with the
+// job's grouping comparator, not raw key equality.
+func TestCombinerWithGroupingComparator(t *testing.T) {
+	fs := newFS()
+	WriteTextFile(fs, "in", []string{"a:1 a:2 b:1"})
+	mapper := MapFunc(func(_ *Context, _, value []byte, out Emitter) error {
+		for _, f := range strings.Fields(string(value)) {
+			parts := strings.SplitN(f, ":", 2)
+			// Key is "letter:seq" but grouping is on the letter only.
+			if err := out.Emit([]byte(f), []byte("1")); err != nil {
+				return err
+			}
+			_ = parts
+		}
+		return nil
+	})
+	groupCmp := func(a, b []byte) int {
+		return bytes.Compare(a[:1], b[:1])
+	}
+	counting := ReduceFunc(func(_ *Context, key []byte, values *Values, out Emitter) error {
+		n := 0
+		for _, ok := values.Next(); ok; _, ok = values.Next() {
+			n++
+		}
+		return out.Emit(key[:1], []byte(strconv.Itoa(n)))
+	})
+	_, err := Run(Job{
+		Name: "groupcomb", FS: fs, Inputs: []string{"in"}, InputFormat: Text,
+		Output: "out", Mapper: mapper, Combiner: counting, Reducer: firstValueReducer,
+		GroupComparator: groupCmp, NumReducers: 1,
+		Partitioner: PrefixPartitioner(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _ := ReadOutputPairs(fs, "out/")
+	got := map[string]string{}
+	for _, p := range pairs {
+		got[string(p.Key)] = string(p.Value)
+	}
+	if got["a"] != "2" || got["b"] != "1" {
+		t.Fatalf("combined counts = %v", got)
+	}
+}
+
+func TestEmptyInputFileRuns(t *testing.T) {
+	fs := newFS()
+	w, _ := fs.Create("empty")
+	w.Close()
+	m, err := Run(Job{
+		Name: "empty", FS: fs, Inputs: []string{"empty"}, InputFormat: Text,
+		Output: "out", Mapper: wordCountMapper, Reducer: sumReducer, NumReducers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.MapTasks) != 0 {
+		t.Fatalf("map tasks = %d for empty input", len(m.MapTasks))
+	}
+	pairs, err := ReadOutputPairs(fs, "out/")
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("pairs = %v, %v", pairs, err)
+	}
+	// Part files still exist (reducers ran with no input).
+	if got := len(fs.List("out/")); got != 2 {
+		t.Fatalf("part files = %d", got)
+	}
+}
+
+func TestReduceOnlyValuesSkippedAreDropped(t *testing.T) {
+	// A reducer that never calls Next still advances to the next group.
+	fs := newFS()
+	WriteTextFile(fs, "in", []string{"a a b"})
+	lazy := ReduceFunc(func(_ *Context, key []byte, _ *Values, out Emitter) error {
+		return out.Emit(key, []byte("seen"))
+	})
+	_, err := Run(Job{
+		Name: "lazy", FS: fs, Inputs: []string{"in"}, InputFormat: Text,
+		Output: "out", Mapper: wordCountMapper, Reducer: lazy, NumReducers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _ := ReadOutputPairs(fs, "out/")
+	if len(pairs) != 2 {
+		t.Fatalf("groups = %d, want 2", len(pairs))
+	}
+}
+
+func BenchmarkEngineWordCount(b *testing.B) {
+	lines := make([]string, 2000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("alpha beta gamma delta token%d epsilon zeta", i%97)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := newFS()
+		if err := WriteTextFile(fs, "in", lines); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Run(Job{
+			Name: "bench", FS: fs, Inputs: []string{"in"}, InputFormat: Text,
+			Output: "out", Mapper: wordCountMapper, Combiner: sumReducer,
+			Reducer: sumReducer, NumReducers: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestReportContent(t *testing.T) {
+	fs := newFS()
+	WriteTextFile(fs, "in", []string{"a b c a", "b c d"})
+	WriteTextFile(fs, "cache", []string{"side"})
+	m, err := Run(Job{
+		Name: "report-job", FS: fs, Inputs: []string{"in"}, InputFormat: Text,
+		Output: "out", Mapper: wordCountMapper, Combiner: sumReducer,
+		Reducer: sumReducer, NumReducers: 2, SpillPairs: 2,
+		SideFiles: []string{"cache"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	for _, want := range []string{
+		"job report-job", "map:", "reduce:", "shuffle:",
+		"side files broadcast", "map spills:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestHumanUnits(t *testing.T) {
+	if bytesH(512) != "512B" || bytesH(2048) != "2.0KiB" ||
+		bytesH(3<<20) != "3.00MiB" || bytesH(5<<30) != "5.00GiB" {
+		t.Fatalf("bytesH wrong: %s %s %s %s",
+			bytesH(512), bytesH(2048), bytesH(3<<20), bytesH(5<<30))
+	}
+	if count(999) != "999" || count(25_000) != "25k" || count(3_200_000) != "3.2M" {
+		t.Fatalf("count wrong: %s %s %s", count(999), count(25_000), count(3_200_000))
+	}
+}

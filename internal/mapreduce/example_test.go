@@ -1,0 +1,70 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/mapreduce"
+)
+
+// Example runs the canonical word count: map emits (word, 1), a combiner
+// pre-aggregates per map task, and the reducer sums.
+func Example() {
+	fs := dfs.New(dfs.Options{Nodes: 2})
+	if err := mapreduce.WriteTextFile(fs, "in", []string{
+		"the quick brown fox",
+		"the lazy dog",
+	}); err != nil {
+		panic(err)
+	}
+
+	mapper := mapreduce.MapFunc(func(_ *mapreduce.Context, _, value []byte, out mapreduce.Emitter) error {
+		for _, w := range strings.Fields(string(value)) {
+			if err := out.Emit([]byte(w), []byte("1")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	sum := mapreduce.ReduceFunc(func(_ *mapreduce.Context, key []byte, values *mapreduce.Values, out mapreduce.Emitter) error {
+		n := 0
+		for v, ok := values.Next(); ok; v, ok = values.Next() {
+			i, err := strconv.Atoi(string(v))
+			if err != nil {
+				return err
+			}
+			n += i
+		}
+		return out.Emit(key, []byte(strconv.Itoa(n)))
+	})
+
+	if _, err := mapreduce.Run(mapreduce.Job{
+		Name:        "wordcount",
+		FS:          fs,
+		Inputs:      []string{"in"},
+		InputFormat: mapreduce.Text,
+		Output:      "out",
+		Mapper:      mapper,
+		Combiner:    sum,
+		Reducer:     sum,
+		NumReducers: 2,
+	}); err != nil {
+		panic(err)
+	}
+
+	pairs, err := mapreduce.ReadOutputPairs(fs, "out/")
+	if err != nil {
+		panic(err)
+	}
+	var lines []string
+	for _, p := range pairs {
+		lines = append(lines, fmt.Sprintf("%s=%s", p.Key, p.Value))
+	}
+	sort.Strings(lines)
+	fmt.Println(strings.Join(lines, " "))
+	// Output:
+	// brown=1 dog=1 fox=1 lazy=1 quick=1 the=2
+}

@@ -1,0 +1,270 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fuzzyjoin/internal/dfs"
+)
+
+// Format selects how records are encoded in DFS files.
+type Format int
+
+const (
+	// FormatUnset resolves to the per-field default (Text for inputs,
+	// Pairs for outputs).
+	FormatUnset Format = iota
+	// Text stores one record per line. On input the mapper receives
+	// key = the decimal byte offset of the line within its block and
+	// value = the line without the newline (Hadoop's TextInputFormat).
+	// On output "key\tvalue\n" is written, or just "value\n" when the
+	// key is empty.
+	Text
+	// Pairs stores length-prefixed binary (key, value) records: uvarint
+	// key length, key bytes, uvarint value length, value bytes. Used for
+	// all intermediate stage outputs.
+	Pairs
+)
+
+// appendPair encodes one Pairs-format record.
+func appendPair(dst, key, value []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(value)))
+	return append(dst, value...)
+}
+
+// decodePairs parses all Pairs-format records in block.
+func decodePairs(block []byte, fn func(key, value []byte) error) error {
+	for len(block) > 0 {
+		kl, n := binary.Uvarint(block)
+		if n <= 0 || uint64(len(block)-n) < kl {
+			return fmt.Errorf("mapreduce: corrupt Pairs block (key length)")
+		}
+		block = block[n:]
+		key := block[:kl]
+		block = block[kl:]
+		vl, n := binary.Uvarint(block)
+		if n <= 0 || uint64(len(block)-n) < vl {
+			return fmt.Errorf("mapreduce: corrupt Pairs block (value length)")
+		}
+		block = block[n:]
+		value := block[:vl]
+		block = block[vl:]
+		if err := fn(key, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodePairsBlock parses all Pairs-format records in a raw buffer (for
+// consumers of Pairs-format side files).
+func DecodePairsBlock(data []byte, fn func(key, value []byte) error) error {
+	return decodePairs(data, fn)
+}
+
+// decodeText parses line records in block, passing the running offset as
+// the key.
+func decodeText(block []byte, baseOffset int64, fn func(key, value []byte) error) error {
+	off := baseOffset
+	for len(block) > 0 {
+		i := bytes.IndexByte(block, '\n')
+		var line []byte
+		if i < 0 {
+			line = block
+			block = nil
+		} else {
+			line = block[:i]
+			block = block[i+1:]
+		}
+		key := strconv.AppendInt(nil, off, 10)
+		off += int64(len(line)) + 1
+		if err := fn(key, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readSplit feeds the records of one split to fn.
+func readSplit(fs *dfs.FS, format Format, split dfs.Split, fn func(key, value []byte) error) error {
+	block, err := fs.Block(split.File, split.Block)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case Text:
+		return decodeText(block, 0, fn)
+	case Pairs:
+		return decodePairs(block, fn)
+	default:
+		return fmt.Errorf("mapreduce: unknown format %d", format)
+	}
+}
+
+// fileWriter writes records of the given format to a DFS file.
+type fileWriter struct {
+	w      *dfs.Writer
+	format Format
+	buf    []byte
+	recs   int64
+	bytes  int64
+}
+
+func newFileWriter(fs *dfs.FS, name string, format Format) (*fileWriter, error) {
+	w, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &fileWriter{w: w, format: format}, nil
+}
+
+func (fw *fileWriter) write(key, value []byte) error {
+	fw.buf = fw.buf[:0]
+	switch fw.format {
+	case Text:
+		if len(key) > 0 {
+			fw.buf = append(fw.buf, key...)
+			fw.buf = append(fw.buf, '\t')
+		}
+		fw.buf = append(fw.buf, value...)
+		fw.buf = append(fw.buf, '\n')
+	case Pairs:
+		fw.buf = appendPair(fw.buf, key, value)
+	default:
+		return fmt.Errorf("mapreduce: unknown format %d", fw.format)
+	}
+	fw.w.Append(fw.buf)
+	fw.recs++
+	fw.bytes += int64(len(fw.buf))
+	return nil
+}
+
+func (fw *fileWriter) close() error { return fw.w.Close() }
+
+// WriteTextFile creates a Text-format file from whole lines (a test and
+// tooling convenience).
+func WriteTextFile(fs *dfs.FS, name string, lines []string) error {
+	w, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		w.Append(append([]byte(l), '\n'))
+	}
+	return w.Close()
+}
+
+// WritePairsFile creates a Pairs-format file from the given pairs.
+func WritePairsFile(fs *dfs.FS, name string, pairs []Pair) error {
+	w, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, p := range pairs {
+		buf = appendPair(buf[:0], p.Key, p.Value)
+		w.Append(buf)
+	}
+	return w.Close()
+}
+
+// formatFor resolves the input format for a file: an exact
+// InputFormatsByPrefix entry wins, then the longest matching "/"-suffixed
+// prefix entry, then the job default.
+func (j *Job) formatFor(file string) Format {
+	if f, ok := j.InputFormatsByPrefix[file]; ok {
+		return f
+	}
+	best, bestLen := j.InputFormat, -1
+	for p, f := range j.InputFormatsByPrefix {
+		if len(p) > 0 && p[len(p)-1] == '/' && len(p) > bestLen && strings.HasPrefix(file, p) {
+			best, bestLen = f, len(p)
+		}
+	}
+	return best
+}
+
+// expandInputs resolves input names: a name ending in "/" expands to all
+// files with that prefix.
+func expandInputs(fs *dfs.FS, inputs []string) ([]string, error) {
+	var out []string
+	for _, in := range inputs {
+		if len(in) > 0 && in[len(in)-1] == '/' {
+			files := fs.List(in)
+			if len(files) == 0 {
+				return nil, fmt.Errorf("mapreduce: input prefix %q matches no files", in)
+			}
+			out = append(out, files...)
+			continue
+		}
+		if !fs.Exists(in) {
+			return nil, fmt.Errorf("mapreduce: input %q does not exist", in)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// ReadPairs returns every pair in a Pairs-format file.
+func ReadPairs(fs *dfs.FS, name string) ([]Pair, error) {
+	splits, err := fs.Splits(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pair
+	for _, s := range splits {
+		err := readSplit(fs, Pairs, s, func(k, v []byte) error {
+			out = append(out, Pair{Key: append([]byte(nil), k...), Value: append([]byte(nil), v...)})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReadOutputPairs returns every pair across all part files under prefix
+// (which should end in "/").
+func ReadOutputPairs(fs *dfs.FS, prefix string) ([]Pair, error) {
+	var out []Pair
+	for _, name := range fs.List(prefix) {
+		ps, err := ReadPairs(fs, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// ReadLines returns every line across all part files under prefix for
+// Text-format outputs (or a single file if prefix names one).
+func ReadLines(fs *dfs.FS, prefix string) ([]string, error) {
+	names := fs.List(prefix)
+	if len(names) == 0 && fs.Exists(prefix) {
+		names = []string{prefix}
+	}
+	var out []string
+	for _, name := range names {
+		b, err := fs.ReadAll(name)
+		if err != nil {
+			return nil, err
+		}
+		for len(b) > 0 {
+			i := bytes.IndexByte(b, '\n')
+			if i < 0 {
+				out = append(out, string(b))
+				break
+			}
+			out = append(out, string(b[:i]))
+			b = b[i+1:]
+		}
+	}
+	return out, nil
+}

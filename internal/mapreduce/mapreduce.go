@@ -1,0 +1,453 @@
+// Package mapreduce implements the MapReduce runtime the join pipeline
+// executes on — the Hadoop substitute.
+//
+// The engine reproduces the Hadoop features the paper's algorithms rely
+// on (§2.1, §3, §4):
+//
+//   - map / combine / reduce functions over (key, value) byte pairs;
+//   - hash partitioning of map output with a *custom partitioner* (used to
+//     partition on a key prefix while sorting on the full key);
+//   - a custom *sort comparator* and a coarser *grouping comparator*
+//     (Hadoop's secondary-sort idiom — PK sorts (group, length) but groups
+//     by group only, so one reduce call sees values in length order);
+//   - setup and cleanup hooks for mappers and reducers, where cleanup may
+//     emit output (OPTO emits the final token order from reducer cleanup);
+//   - side files (the distributed-cache analogue) broadcast to every task
+//     (Stage 2 broadcasts the token order, OPRJ broadcasts the RID pairs);
+//   - per-task metrics (records, bytes, shuffle sizes, measured cost) that
+//     feed the cluster cost simulator; and
+//   - a per-task memory budget so experiments can reproduce the paper's
+//     out-of-memory behaviour (OPRJ at scale, §5 block processing).
+//
+// Tasks execute on host goroutines with configurable parallelism;
+// "cluster time" for N virtual nodes is computed afterwards by
+// internal/cluster from the recorded per-task costs.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/keys"
+)
+
+// Pair is one (key, value) record flowing through the engine.
+type Pair struct {
+	Key, Value []byte
+}
+
+// Emitter receives pairs produced by map, combine, reduce, or cleanup
+// functions.
+type Emitter interface {
+	Emit(key, value []byte) error
+}
+
+// Mapper transforms one input record into zero or more intermediate pairs.
+type Mapper interface {
+	Map(ctx *Context, key, value []byte, out Emitter) error
+}
+
+// Reducer folds all values sharing a key group into output pairs. The
+// same interface serves combiners.
+type Reducer interface {
+	Reduce(ctx *Context, key []byte, values *Values, out Emitter) error
+}
+
+// Setupper is implemented by mappers/reducers needing per-task
+// initialization (Hadoop's configure). Setup runs once before the first
+// record of each task.
+type Setupper interface {
+	Setup(ctx *Context) error
+}
+
+// Cleanupper is implemented by mappers/reducers needing per-task teardown
+// (Hadoop's close). Cleanup runs after the last record and may emit.
+type Cleanupper interface {
+	Cleanup(ctx *Context, out Emitter) error
+}
+
+// TaskLocal is implemented by mappers and reducers that carry per-task
+// state (loaded side data, reused buffers): the engine calls
+// NewTaskInstance once per task and uses the returned instance, mirroring
+// Hadoop's per-task instantiation. Stateless mappers/reducers may run as
+// a single shared value and don't need this.
+type TaskLocal interface {
+	NewTaskInstance() any
+}
+
+// taskMapper returns the mapper instance to use for one task.
+func taskMapper(m Mapper) Mapper {
+	if tl, ok := m.(TaskLocal); ok {
+		return tl.NewTaskInstance().(Mapper)
+	}
+	return m
+}
+
+// taskReducer returns the reducer instance to use for one task.
+func taskReducer(r Reducer) Reducer {
+	if tl, ok := r.(TaskLocal); ok {
+		return tl.NewTaskInstance().(Reducer)
+	}
+	return r
+}
+
+// MapFunc adapts a function to the Mapper interface.
+type MapFunc func(ctx *Context, key, value []byte, out Emitter) error
+
+// Map implements Mapper.
+func (f MapFunc) Map(ctx *Context, key, value []byte, out Emitter) error {
+	return f(ctx, key, value, out)
+}
+
+// ReduceFunc adapts a function to the Reducer interface.
+type ReduceFunc func(ctx *Context, key []byte, values *Values, out Emitter) error
+
+// Reduce implements Reducer.
+func (f ReduceFunc) Reduce(ctx *Context, key []byte, values *Values, out Emitter) error {
+	return f(ctx, key, values, out)
+}
+
+// IdentityMapper passes records through unchanged (used by BRJ phase 2).
+var IdentityMapper Mapper = MapFunc(func(_ *Context, key, value []byte, out Emitter) error {
+	return out.Emit(key, value)
+})
+
+// Values iterates over the values of one reduce group in sorted order.
+type Values struct {
+	pairs []Pair
+	i     int
+}
+
+// Next returns the next value in the group. The returned slice is only
+// valid until the next call.
+func (v *Values) Next() ([]byte, bool) {
+	if v.i >= len(v.pairs) {
+		return nil, false
+	}
+	val := v.pairs[v.i].Value
+	v.i++
+	return val, true
+}
+
+// Key returns the full sort key of the value most recently returned by
+// Next. With a grouping comparator coarser than the sort comparator the
+// reduce key stays fixed per group while per-value keys advance — PK's
+// R-S kernel reads the length class and relation tag from here.
+func (v *Values) Key() []byte {
+	if v.i == 0 {
+		if len(v.pairs) == 0 {
+			return nil
+		}
+		return v.pairs[0].Key
+	}
+	return v.pairs[v.i-1].Key
+}
+
+// Len returns the total number of values in the group.
+func (v *Values) Len() int { return len(v.pairs) }
+
+// Job configures one MapReduce execution.
+type Job struct {
+	// Name labels the job in metrics and errors.
+	Name string
+	// FS is the file system inputs are read from and output written to.
+	FS *dfs.FS
+	// Inputs are the input file names. Names may be prefixes ending in
+	// "/" which expand to all files underneath (part-file directories).
+	Inputs []string
+	// InputFormat decodes input blocks into records. Defaults to Text.
+	InputFormat Format
+	// InputFormatsByPrefix optionally overrides InputFormat for matching
+	// inputs: keys are exact file names or prefixes ending in "/". Jobs
+	// that join heterogeneous inputs (Stage 3 BRJ reads text records and
+	// binary RID pairs in one job) need this.
+	InputFormatsByPrefix map[string]Format
+	// Output is the output prefix; reducer r writes Output/part-r-%05d.
+	Output string
+	// OutputFormat encodes output pairs. Defaults to Pairs.
+	OutputFormat Format
+	// Mapper is required.
+	Mapper Mapper
+	// Combiner optionally pre-aggregates map output per partition.
+	Combiner Reducer
+	// Reducer is required.
+	Reducer Reducer
+	// NumReducers defaults to 1.
+	NumReducers int
+	// Partitioner routes keys to reducers; defaults to FNV hashing of the
+	// whole key.
+	Partitioner func(key []byte, numPartitions int) int
+	// SortComparator orders intermediate keys; defaults to bytes.Compare.
+	SortComparator func(a, b []byte) int
+	// GroupComparator groups sorted pairs into reduce calls; defaults to
+	// the sort comparator.
+	GroupComparator func(a, b []byte) int
+	// SideFiles lists FS files broadcast to every task (distributed
+	// cache). Tasks read them with Context.SideFile.
+	SideFiles []string
+	// Conf carries free-form job configuration to tasks.
+	Conf map[string]string
+	// MemoryLimit caps bytes a single task may hold via Context.Memory;
+	// 0 means unlimited.
+	MemoryLimit int64
+	// Parallelism bounds concurrently executing tasks on the host. It
+	// affects wall-clock only, never results or recorded per-task costs.
+	// Defaults to 1 for stable cost measurement.
+	Parallelism int
+	// SpillPairs bounds the map-output pairs buffered in memory: when the
+	// buffer reaches this count it is sorted, combined, and spilled to
+	// local disk as one run, and the runs are k-way merged at task end
+	// (Hadoop's io.sort.mb behaviour). 0 keeps everything in memory.
+	SpillPairs int
+	// CompressShuffle flate-compresses map-output segments; reducers
+	// decompress on fetch. PartitionBytes then reports compressed (wire)
+	// sizes.
+	CompressShuffle bool
+}
+
+// spillEmitter triggers a spill when the buffered pair count reaches the
+// threshold.
+type spillEmitter struct {
+	em        *bufEmitter
+	threshold int
+	spill     func() error
+}
+
+// Emit implements Emitter.
+func (e *spillEmitter) Emit(key, value []byte) error {
+	if err := e.em.Emit(key, value); err != nil {
+		return err
+	}
+	if len(e.em.pairs) >= e.threshold {
+		return e.spill()
+	}
+	return nil
+}
+
+// ErrInsufficientMemory is returned (wrapped) when a task exceeds its
+// memory budget. The paper's §5 strategies exist for exactly this case.
+var ErrInsufficientMemory = errors.New("mapreduce: insufficient memory")
+
+// Memory tracks a task's budgeted memory use.
+type Memory struct {
+	used  int64
+	peak  int64
+	limit int64
+}
+
+// Alloc charges n bytes against the budget.
+func (m *Memory) Alloc(n int64) error {
+	m.used += n
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	if m.limit > 0 && m.used > m.limit {
+		return fmt.Errorf("%w: %d bytes used, limit %d", ErrInsufficientMemory, m.used, m.limit)
+	}
+	return nil
+}
+
+// Free returns n bytes to the budget.
+func (m *Memory) Free(n int64) {
+	m.used -= n
+	if m.used < 0 {
+		m.used = 0
+	}
+}
+
+// Used returns the current charge.
+func (m *Memory) Used() int64 { return m.used }
+
+// Peak returns the high-water mark.
+func (m *Memory) Peak() int64 { return m.peak }
+
+// Limit returns the budget (0 = unlimited).
+func (m *Memory) Limit() int64 { return m.limit }
+
+// Context carries per-task state into user functions.
+type Context struct {
+	// JobName is Job.Name.
+	JobName string
+	// TaskID is the map or reduce task index.
+	TaskID int
+	// NumReducers is the job's reducer count.
+	NumReducers int
+	// InputFile is the file the current map record came from (empty in
+	// reducers). BRJ's mapper dispatches on it.
+	InputFile string
+	// Conf is Job.Conf.
+	Conf map[string]string
+	// Memory is the task's budget tracker.
+	Memory *Memory
+
+	fs       *dfs.FS
+	side     map[string][]byte
+	counters *Counters
+}
+
+// SideFile returns the contents of a broadcast side file.
+func (c *Context) SideFile(name string) ([]byte, error) {
+	if b, ok := c.side[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("mapreduce: side file %q not attached to job %s", name, c.JobName)
+}
+
+// Count adds delta to the named job counter.
+func (c *Context) Count(name string, delta int64) { c.counters.Add(name, delta) }
+
+// Counters aggregates named counters across tasks.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Add adds delta to the named counter.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the value of the named counter.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot copies all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// TaskMetrics records one task's work, consumed by the cluster simulator.
+type TaskMetrics struct {
+	// Cost is the measured execution time of the task body.
+	Cost time.Duration
+	// InputRecords and InputBytes describe the task's input.
+	InputRecords, InputBytes int64
+	// OutputRecords and OutputBytes describe the task's output (for map
+	// tasks: after combining).
+	OutputRecords, OutputBytes int64
+	// PartitionBytes (map tasks only) is the bytes destined to each
+	// reducer — the shuffle traffic matrix row.
+	PartitionBytes []int64
+	// Locations (map tasks only) lists the virtual nodes holding the
+	// task's input split (for locality-aware scheduling in the cluster
+	// simulator).
+	Locations []int
+	// PeakMemory is the task's budget high-water mark.
+	PeakMemory int64
+	// SpillCount and SpillBytes describe map-side spills (zero when the
+	// whole output fit in memory).
+	SpillCount int
+	SpillBytes int64
+}
+
+// Metrics describes one job execution.
+type Metrics struct {
+	Job         string
+	MapTasks    []TaskMetrics
+	ReduceTasks []TaskMetrics
+	// SideBytes is the total size of broadcast side files (charged once
+	// per node by the simulator).
+	SideBytes int64
+	// Counters holds the job's aggregated counters.
+	Counters map[string]int64
+}
+
+// ShufflePerReduce returns the bytes each reducer fetched.
+func (m *Metrics) ShufflePerReduce() []int64 {
+	if len(m.MapTasks) == 0 {
+		return nil
+	}
+	n := len(m.MapTasks[0].PartitionBytes)
+	out := make([]int64, n)
+	for _, mt := range m.MapTasks {
+		for r, b := range mt.PartitionBytes {
+			out[r] += b
+		}
+	}
+	return out
+}
+
+// TotalShuffleBytes returns the total map→reduce traffic.
+func (m *Metrics) TotalShuffleBytes() int64 {
+	var n int64
+	for _, b := range m.ShufflePerReduce() {
+		n += b
+	}
+	return n
+}
+
+// DefaultPartitioner hashes the whole key with FNV-1a.
+func DefaultPartitioner(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// PrefixPartitioner returns a partitioner hashing only the first n bytes
+// of the key — the "partition on part of the key" device of §3.2.2/§4.
+func PrefixPartitioner(n int) func([]byte, int) int {
+	return func(key []byte, parts int) int {
+		if len(key) > n {
+			key = key[:n]
+		}
+		return DefaultPartitioner(key, parts)
+	}
+}
+
+func (j *Job) fillDefaults() error {
+	if j.FS == nil {
+		return fmt.Errorf("mapreduce: job %s: FS is required", j.Name)
+	}
+	if j.Mapper == nil {
+		return fmt.Errorf("mapreduce: job %s: Mapper is required", j.Name)
+	}
+	if j.Reducer == nil {
+		return fmt.Errorf("mapreduce: job %s: Reducer is required", j.Name)
+	}
+	if len(j.Inputs) == 0 {
+		return fmt.Errorf("mapreduce: job %s: no inputs", j.Name)
+	}
+	if j.Output == "" {
+		return fmt.Errorf("mapreduce: job %s: no output", j.Name)
+	}
+	if j.NumReducers <= 0 {
+		j.NumReducers = 1
+	}
+	if j.InputFormat == FormatUnset {
+		j.InputFormat = Text
+	}
+	if j.OutputFormat == FormatUnset {
+		j.OutputFormat = Pairs
+	}
+	if j.Partitioner == nil {
+		j.Partitioner = DefaultPartitioner
+	}
+	if j.SortComparator == nil {
+		j.SortComparator = keys.Compare
+	}
+	if j.GroupComparator == nil {
+		j.GroupComparator = j.SortComparator
+	}
+	if j.Parallelism <= 0 {
+		j.Parallelism = 1
+	}
+	return nil
+}

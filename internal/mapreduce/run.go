@@ -1,0 +1,480 @@
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fuzzyjoin/internal/dfs"
+)
+
+// Run executes the job to completion and returns its metrics. Output part
+// files are written to job.Output + "/part-r-%05d", one per reducer.
+// On error no partial output is left behind.
+func Run(job Job) (*Metrics, error) {
+	if err := job.fillDefaults(); err != nil {
+		return nil, err
+	}
+	inputs, err := expandInputs(job.FS, job.Inputs)
+	if err != nil {
+		return nil, fmt.Errorf("job %s: %w", job.Name, err)
+	}
+
+	side, sideBytes, err := loadSideFiles(job.FS, job.SideFiles)
+	if err != nil {
+		return nil, fmt.Errorf("job %s: %w", job.Name, err)
+	}
+
+	var splits []dfs.Split
+	for _, in := range inputs {
+		ss, err := job.FS.Splits(in)
+		if err != nil {
+			return nil, fmt.Errorf("job %s: %w", job.Name, err)
+		}
+		splits = append(splits, ss...)
+	}
+
+	counters := &Counters{}
+	metrics := &Metrics{Job: job.Name, SideBytes: sideBytes}
+
+	// Collect garbage left by previous jobs before measuring task costs:
+	// a collection triggered mid-task would otherwise charge one job's
+	// allocation debt to an arbitrary later task and distort the cost
+	// profile the cluster simulator consumes.
+	runtime.GC()
+
+	// ---- Map phase ----
+	segments := make([][][]byte, len(splits)) // [mapTask][partition] encoded segment
+	metrics.MapTasks = make([]TaskMetrics, len(splits))
+	if err := runParallel(len(splits), job.Parallelism, func(i int) error {
+		seg, tm, err := runMapTask(&job, i, splits[i], side, counters)
+		if err != nil {
+			return err
+		}
+		segments[i] = seg
+		metrics.MapTasks[i] = tm
+		return nil
+	}); err != nil {
+		job.FS.RemovePrefix(job.Output + "/")
+		return nil, fmt.Errorf("job %s: %w", job.Name, err)
+	}
+
+	// ---- Reduce phase (shuffle + sort + reduce) ----
+	metrics.ReduceTasks = make([]TaskMetrics, job.NumReducers)
+	if err := runParallel(job.NumReducers, job.Parallelism, func(r int) error {
+		tm, err := runReduceTask(&job, r, segments, side, counters)
+		if err != nil {
+			return err
+		}
+		metrics.ReduceTasks[r] = tm
+		return nil
+	}); err != nil {
+		job.FS.RemovePrefix(job.Output + "/")
+		return nil, fmt.Errorf("job %s: %w", job.Name, err)
+	}
+
+	metrics.Counters = counters.Snapshot()
+	return metrics, nil
+}
+
+func loadSideFiles(fs *dfs.FS, names []string) (map[string][]byte, int64, error) {
+	side := make(map[string][]byte, len(names))
+	var total int64
+	for _, n := range names {
+		b, err := fs.ReadAll(n)
+		if err != nil {
+			return nil, 0, fmt.Errorf("side file %q: %w", n, err)
+		}
+		side[n] = b
+		total += int64(len(b))
+	}
+	return side, total, nil
+}
+
+// runParallel executes fn(0..n-1) with at most p concurrent invocations,
+// returning the first error.
+func runParallel(n, p int, fn func(i int) error) error {
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, p)
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// bufEmitter accumulates emitted pairs, copying the bytes (callers reuse
+// their buffers) into chunked arenas: two allocations per emission would
+// otherwise dominate the allocation rate of map-heavy jobs and let GC
+// pauses distort the measured task costs.
+type bufEmitter struct {
+	pairs []Pair
+	bytes int64
+	chunk []byte
+}
+
+const emitterChunkSize = 64 << 10
+
+// alloc carves n bytes out of the current arena chunk. Chunks are never
+// reallocated once handed out, so earlier slices stay valid.
+func (e *bufEmitter) alloc(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	if n >= emitterChunkSize/4 {
+		return make([]byte, n)
+	}
+	if len(e.chunk)+n > cap(e.chunk) {
+		e.chunk = make([]byte, 0, emitterChunkSize)
+	}
+	off := len(e.chunk)
+	e.chunk = e.chunk[:off+n]
+	return e.chunk[off : off+n : off+n]
+}
+
+func (e *bufEmitter) Emit(key, value []byte) error {
+	k := e.alloc(len(key))
+	copy(k, key)
+	v := e.alloc(len(value))
+	copy(v, value)
+	e.pairs = append(e.pairs, Pair{Key: k, Value: v})
+	e.bytes += int64(len(k) + len(v))
+	return nil
+}
+
+func runMapTask(job *Job, taskID int, split dfs.Split, side map[string][]byte, counters *Counters) ([][]byte, TaskMetrics, error) {
+	ctx := &Context{
+		JobName:     job.Name,
+		TaskID:      taskID,
+		NumReducers: job.NumReducers,
+		InputFile:   split.File,
+		Conf:        job.Conf,
+		Memory:      &Memory{limit: job.MemoryLimit},
+		fs:          job.FS,
+		side:        side,
+		counters:    counters,
+	}
+	var tm TaskMetrics
+	start := time.Now()
+	em := &bufEmitter{}
+	var spills *mapSpills
+	defer func() {
+		if spills != nil {
+			spills.close()
+		}
+	}()
+	// spill flushes the buffered pairs as one sorted on-disk run when the
+	// in-memory buffer reaches Job.SpillPairs (Hadoop's io.sort.mb).
+	spill := func() error {
+		runs, err := buildRuns(job, ctx, em.pairs)
+		if err != nil {
+			return err
+		}
+		if spills == nil {
+			if spills, err = newMapSpills(job.NumReducers); err != nil {
+				return err
+			}
+		}
+		enc := make([][]byte, len(runs))
+		for r := range runs {
+			enc[r] = encodeRun(runs[r])
+		}
+		if err := spills.add(enc); err != nil {
+			return err
+		}
+		*em = bufEmitter{}
+		return nil
+	}
+	var sink Emitter = em
+	if job.SpillPairs > 0 {
+		sink = &spillEmitter{em: em, threshold: job.SpillPairs, spill: spill}
+	}
+	mapper := taskMapper(job.Mapper)
+	if s, ok := mapper.(Setupper); ok {
+		if err := s.Setup(ctx); err != nil {
+			return nil, tm, fmt.Errorf("map task %d setup: %w", taskID, err)
+		}
+	}
+	err := readSplit(job.FS, job.formatFor(split.File), split, func(key, value []byte) error {
+		tm.InputRecords++
+		tm.InputBytes += int64(len(key) + len(value))
+		return mapper.Map(ctx, key, value, sink)
+	})
+	if err != nil {
+		return nil, tm, fmt.Errorf("map task %d: %w", taskID, err)
+	}
+	if c, ok := mapper.(Cleanupper); ok {
+		if err := c.Cleanup(ctx, sink); err != nil {
+			return nil, tm, fmt.Errorf("map task %d cleanup: %w", taskID, err)
+		}
+	}
+
+	// Partition, sort, combine, merge spilled runs, and encode the final
+	// per-reducer segments.
+	parts, err := finalizeMapOutput(job, ctx, em, spills, &tm)
+	if err != nil {
+		return nil, tm, fmt.Errorf("map task %d: %w", taskID, err)
+	}
+	tm.Cost = time.Since(start)
+	tm.PeakMemory = ctx.Memory.Peak()
+	tm.Locations = append([]int(nil), split.Locations...)
+	return parts, tm, nil
+}
+
+// buildRuns partitions, sorts, and combines one buffered run.
+func buildRuns(job *Job, ctx *Context, pairs []Pair) ([][]Pair, error) {
+	parts := make([][]Pair, job.NumReducers)
+	for _, p := range pairs {
+		r := job.Partitioner(p.Key, job.NumReducers)
+		if r < 0 || r >= job.NumReducers {
+			return nil, fmt.Errorf("partitioner returned %d for %d reducers", r, job.NumReducers)
+		}
+		parts[r] = append(parts[r], p)
+	}
+	for r := range parts {
+		sortPairs(parts[r], job.SortComparator)
+		if job.Combiner != nil {
+			combined, err := combine(ctx, job, parts[r])
+			if err != nil {
+				return nil, err
+			}
+			parts[r] = combined
+		}
+	}
+	return parts, nil
+}
+
+// finalizeMapOutput merges the in-memory buffer with any on-disk spills
+// and encodes (optionally compressing) the final per-reducer segments.
+func finalizeMapOutput(job *Job, ctx *Context, em *bufEmitter, spills *mapSpills, tm *TaskMetrics) ([][]byte, error) {
+	finalRuns, err := buildRuns(job, ctx, em.pairs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, job.NumReducers)
+	tm.PartitionBytes = make([]int64, job.NumReducers)
+	for r := 0; r < job.NumReducers; r++ {
+		runs := [][]Pair{finalRuns[r]}
+		if spills != nil {
+			encRuns, err := spills.load(r)
+			if err != nil {
+				return nil, err
+			}
+			for _, enc := range encRuns {
+				run, err := decodeRun(enc)
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, run)
+			}
+		}
+		merged := mergeRuns(runs, job.SortComparator)
+		if job.Combiner != nil && spills != nil && spills.spills > 0 {
+			// Re-combine across runs (Hadoop's merge-time combine).
+			merged, err = combine(ctx, job, merged)
+			if err != nil {
+				return nil, err
+			}
+		}
+		enc := encodeRun(merged)
+		if job.CompressShuffle {
+			enc, err = compressSegment(enc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out[r] = enc
+		tm.PartitionBytes[r] = int64(len(enc))
+		tm.OutputRecords += int64(len(merged))
+		tm.OutputBytes += int64(len(enc))
+	}
+	if spills != nil {
+		tm.SpillCount = spills.spills
+		tm.SpillBytes = spills.bytes
+	}
+	return out, nil
+}
+
+// sortPairs orders pairs by the comparator, breaking key ties by value so
+// engine output is fully deterministic regardless of host scheduling.
+func sortPairs(pairs []Pair, cmp func(a, b []byte) int) {
+	sort.Slice(pairs, func(i, j int) bool {
+		c := cmp(pairs[i].Key, pairs[j].Key)
+		if c != 0 {
+			return c < 0
+		}
+		return comparePairTie(pairs[i], pairs[j]) < 0
+	})
+}
+
+func comparePairTie(a, b Pair) int {
+	// Full key first (the sort comparator may look at a prefix only),
+	// then value.
+	if c := compareBytes(a.Key, b.Key); c != 0 {
+		return c
+	}
+	return compareBytes(a.Value, b.Value)
+}
+
+func compareBytes(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// combine runs the combiner over each key group of the sorted run and
+// returns the re-sorted result.
+func combine(ctx *Context, job *Job, pairs []Pair) ([]Pair, error) {
+	if len(pairs) == 0 {
+		return pairs, nil
+	}
+	out := &bufEmitter{}
+	i := 0
+	for i < len(pairs) {
+		j := i + 1
+		for j < len(pairs) && job.GroupComparator(pairs[i].Key, pairs[j].Key) == 0 {
+			j++
+		}
+		vals := &Values{pairs: pairs[i:j]}
+		if err := job.Combiner.Reduce(ctx, pairs[i].Key, vals, out); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	sortPairs(out.pairs, job.SortComparator)
+	return out.pairs, nil
+}
+
+func runReduceTask(job *Job, r int, segments [][][]byte, side map[string][]byte, counters *Counters) (TaskMetrics, error) {
+	ctx := &Context{
+		JobName:     job.Name,
+		TaskID:      r,
+		NumReducers: job.NumReducers,
+		Conf:        job.Conf,
+		Memory:      &Memory{limit: job.MemoryLimit},
+		fs:          job.FS,
+		side:        side,
+		counters:    counters,
+	}
+	var tm TaskMetrics
+	start := time.Now()
+
+	// Shuffle: fetch this reducer's encoded segment from every map task,
+	// decompress and decode, then k-way merge the sorted runs.
+	var runs [][]Pair
+	for _, seg := range segments {
+		if r >= len(seg) || len(seg[r]) == 0 {
+			continue
+		}
+		data := seg[r]
+		tm.InputBytes += int64(len(data))
+		if job.CompressShuffle {
+			var err error
+			if data, err = decompressSegment(data); err != nil {
+				return tm, fmt.Errorf("reduce task %d: %w", r, err)
+			}
+		}
+		run, err := decodeRun(data)
+		if err != nil {
+			return tm, fmt.Errorf("reduce task %d: %w", r, err)
+		}
+		if len(run) > 0 {
+			runs = append(runs, run)
+		}
+	}
+	pairs := mergeRuns(runs, job.SortComparator)
+	tm.InputRecords = int64(len(pairs))
+
+	name := fmt.Sprintf("%s/part-r-%05d", job.Output, r)
+	fw, err := newFileWriter(job.FS, name, job.OutputFormat)
+	if err != nil {
+		return tm, err
+	}
+	out := &writerEmitter{fw: fw}
+
+	reducer := taskReducer(job.Reducer)
+	if s, ok := reducer.(Setupper); ok {
+		if err := s.Setup(ctx); err != nil {
+			return tm, fmt.Errorf("reduce task %d setup: %w", r, err)
+		}
+	}
+	i := 0
+	for i < len(pairs) {
+		j := i + 1
+		for j < len(pairs) && job.GroupComparator(pairs[i].Key, pairs[j].Key) == 0 {
+			j++
+		}
+		vals := &Values{pairs: pairs[i:j]}
+		if err := reducer.Reduce(ctx, pairs[i].Key, vals, out); err != nil {
+			return tm, fmt.Errorf("reduce task %d: %w", r, err)
+		}
+		i = j
+	}
+	if c, ok := reducer.(Cleanupper); ok {
+		if err := c.Cleanup(ctx, out); err != nil {
+			return tm, fmt.Errorf("reduce task %d cleanup: %w", r, err)
+		}
+	}
+	if err := fw.close(); err != nil {
+		return tm, err
+	}
+	tm.OutputRecords = fw.recs
+	tm.OutputBytes = fw.bytes
+	tm.Cost = time.Since(start)
+	tm.PeakMemory = ctx.Memory.Peak()
+	return tm, nil
+}
+
+// writerEmitter streams reducer output straight to the part file.
+type writerEmitter struct {
+	fw *fileWriter
+}
+
+func (w *writerEmitter) Emit(key, value []byte) error { return w.fw.write(key, value) }

@@ -1,0 +1,192 @@
+package mapreduce
+
+import (
+	"bytes"
+	"compress/flate"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file holds the map-output machinery: sorted-run encoding, k-way
+// merging, map-side spills (Hadoop's io.sort.mb behaviour), and optional
+// shuffle compression. Map tasks hand reducers *encoded* segments, so
+// PartitionBytes is the actual wire size of the shuffle.
+
+// encodeRun serializes a sorted pair run in Pairs format.
+func encodeRun(pairs []Pair) []byte {
+	var n int
+	for _, p := range pairs {
+		n += len(p.Key) + len(p.Value) + 2*binary.MaxVarintLen32
+	}
+	buf := make([]byte, 0, n)
+	for _, p := range pairs {
+		buf = appendPair(buf, p.Key, p.Value)
+	}
+	return buf
+}
+
+// decodeRun parses an encoded run back into pairs. The slices alias data.
+func decodeRun(data []byte) ([]Pair, error) {
+	var out []Pair
+	err := decodePairs(data, func(k, v []byte) error {
+		out = append(out, Pair{Key: k, Value: v})
+		return nil
+	})
+	return out, err
+}
+
+// comparePairs is the engine's total order: the sort comparator first,
+// then the deterministic tie-break.
+func comparePairs(cmp func(a, b []byte) int, a, b Pair) int {
+	if c := cmp(a.Key, b.Key); c != 0 {
+		return c
+	}
+	return comparePairTie(a, b)
+}
+
+// runHeap is a k-way merge heap over sorted runs.
+type runHeap struct {
+	runs [][]Pair // each non-empty, sorted
+	cmp  func(a, b []byte) int
+}
+
+func (h *runHeap) Len() int { return len(h.runs) }
+func (h *runHeap) Less(i, j int) bool {
+	return comparePairs(h.cmp, h.runs[i][0], h.runs[j][0]) < 0
+}
+func (h *runHeap) Swap(i, j int) { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *runHeap) Push(x any)    { h.runs = append(h.runs, x.([]Pair)) }
+func (h *runHeap) Pop() any      { r := h.runs[len(h.runs)-1]; h.runs = h.runs[:len(h.runs)-1]; return r }
+
+// mergeRuns k-way merges sorted runs into one sorted slice.
+func mergeRuns(runs [][]Pair, cmp func(a, b []byte) int) []Pair {
+	nonEmpty := runs[:0]
+	total := 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			nonEmpty = append(nonEmpty, r)
+			total += len(r)
+		}
+	}
+	switch len(nonEmpty) {
+	case 0:
+		return nil
+	case 1:
+		return nonEmpty[0]
+	}
+	h := &runHeap{runs: nonEmpty, cmp: cmp}
+	heap.Init(h)
+	out := make([]Pair, 0, total)
+	for h.Len() > 0 {
+		r := h.runs[0]
+		out = append(out, r[0])
+		if len(r) > 1 {
+			h.runs[0] = r[1:]
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out
+}
+
+// mapSpills stores sorted, partitioned runs on local disk during a map
+// task. Each spill is one file: [numPartitions][len u64]... then the
+// concatenated encoded runs.
+type mapSpills struct {
+	dir    string
+	files  []string
+	parts  int
+	bytes  int64
+	spills int
+}
+
+func newMapSpills(parts int) (*mapSpills, error) {
+	dir, err := os.MkdirTemp("", "mapreduce-spill-")
+	if err != nil {
+		return nil, err
+	}
+	return &mapSpills{dir: dir, parts: parts}, nil
+}
+
+// add writes one spill: runs[r] is partition r's sorted encoded run.
+func (ms *mapSpills) add(runs [][]byte) error {
+	name := filepath.Join(ms.dir, fmt.Sprintf("spill-%d", ms.spills))
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	for _, run := range runs {
+		binary.BigEndian.PutUint64(hdr[:], uint64(len(run)))
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := f.Write(run); err != nil {
+			return err
+		}
+		ms.bytes += int64(8 + len(run))
+	}
+	ms.files = append(ms.files, name)
+	ms.spills++
+	return nil
+}
+
+// load reads back partition r's run from every spill.
+func (ms *mapSpills) load(r int) ([][]byte, error) {
+	out := make([][]byte, 0, len(ms.files))
+	for _, name := range ms.files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < ms.parts; p++ {
+			if len(data) < 8 {
+				return nil, fmt.Errorf("mapreduce: truncated spill %s", name)
+			}
+			n := binary.BigEndian.Uint64(data[:8])
+			data = data[8:]
+			if uint64(len(data)) < n {
+				return nil, fmt.Errorf("mapreduce: truncated spill %s", name)
+			}
+			if p == r {
+				out = append(out, data[:n])
+				break
+			}
+			data = data[n:]
+		}
+	}
+	return out, nil
+}
+
+func (ms *mapSpills) close() {
+	os.RemoveAll(ms.dir)
+}
+
+// compressSegment flate-compresses an encoded segment (shuffle
+// compression, Hadoop's mapreduce.map.output.compress).
+func compressSegment(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decompressSegment(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(r)
+}

@@ -1,0 +1,25 @@
+package ppjoin_test
+
+import (
+	"fmt"
+
+	"fuzzyjoin/internal/ppjoin"
+	"fuzzyjoin/internal/records"
+	"fuzzyjoin/internal/simfn"
+)
+
+// ExampleSelfJoin joins three token sets (rank slices, rarest-first) at
+// Jaccard ≥ 0.6 with the prefix filter alone (the zero filter.Stack).
+func ExampleSelfJoin() {
+	items := []ppjoin.Item{
+		{RID: 1, Ranks: []uint32{2, 5, 9, 11, 20}},
+		{RID: 2, Ranks: []uint32{2, 5, 9, 11, 21}}, // shares 4 of 6 union tokens with RID 1
+		{RID: 3, Ranks: []uint32{30, 31, 32}},
+	}
+	opts := ppjoin.Options{Fn: simfn.Jaccard, Threshold: 0.6}
+	ppjoin.SelfJoin(items, opts, func(p records.RIDPair) {
+		fmt.Printf("%d ~ %d (%.2f)\n", p.A, p.B, p.Sim)
+	})
+	// Output:
+	// 1 ~ 2 (0.67)
+}

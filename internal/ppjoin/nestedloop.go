@@ -1,0 +1,128 @@
+package ppjoin
+
+import (
+	"fuzzyjoin/internal/filter"
+	"fuzzyjoin/internal/records"
+)
+
+// firstPrefixMatch returns the 0-indexed positions of the first common
+// token within the two items' prefixes, scanning both prefix lists in
+// rank order (both are sorted), or ok=false when the prefixes are
+// disjoint.
+func firstPrefixMatch(x, y []uint32, px, py int) (i, j int, ok bool) {
+	i, j = 0, 0
+	for i < px && j < py {
+		switch {
+		case x[i] == y[j]:
+			return i, j, true
+		case x[i] < y[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return 0, 0, false
+}
+
+// checkPair applies the configured filter stack to one candidate pair and
+// verifies it, returning the similarity and whether it meets the
+// threshold. Pairs whose prefixes share no token are rejected outright
+// (the prefix-filter necessary condition). Stats are updated.
+func checkPair(x, y Item, opts Options, st *Stats) (float64, bool) {
+	lx, ly := len(x.Ranks), len(y.Ranks)
+	if lx == 0 || ly == 0 {
+		return 0, false
+	}
+	st.Candidates++
+	if opts.Filters.Length && !filter.Length(opts.Fn, lx, ly, opts.Threshold) {
+		return 0, false
+	}
+	px := opts.Fn.PrefixLength(lx, opts.Threshold)
+	py := opts.Fn.PrefixLength(ly, opts.Threshold)
+	i, j, ok := firstPrefixMatch(x.Ranks, y.Ranks, px, py)
+	if !ok {
+		return 0, false
+	}
+	need := opts.Fn.OverlapThreshold(lx, ly, opts.Threshold)
+	if opts.Filters.Positional && !filter.Positional(lx, ly, i, j, 1, need) {
+		return 0, false
+	}
+	if opts.Filters.Suffix && !filter.Suffix(x.Ranks, y.Ranks, i, j, need) {
+		return 0, false
+	}
+	st.Verified++
+	sim, ok := opts.Fn.Verify(x.Ranks, y.Ranks, opts.Threshold)
+	if ok {
+		st.Results++
+	}
+	return sim, ok
+}
+
+// NestedLoopSelf is the BK kernel: it cross-pairs all items (the record
+// projections a Stage 2 reducer received for one routing key), applying
+// the filter stack and verifying survivors. Pairs are emitted with RIDs
+// ordered (A < B) and each unordered pair is considered once.
+func NestedLoopSelf(items []Item, opts Options, emit func(records.RIDPair)) Stats {
+	var st Stats
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			x, y := items[i], items[j]
+			if sim, ok := checkPair(x, y, opts, &st); ok {
+				a, b := x.RID, y.RID
+				if a > b {
+					a, b = b, a
+				}
+				emit(records.RIDPair{A: a, B: b, Sim: sim})
+			}
+		}
+	}
+	return st
+}
+
+// NestedLoopRS is the BK kernel for the R-S case: every S item is checked
+// against every R item. Pairs are (R RID, S RID).
+func NestedLoopRS(rItems, sItems []Item, opts Options, emit func(records.RIDPair)) Stats {
+	var st Stats
+	for _, s := range sItems {
+		for _, r := range rItems {
+			if sim, ok := checkPair(r, s, opts, &st); ok {
+				emit(records.RIDPair{A: r.RID, B: s.RID, Sim: sim})
+			}
+		}
+	}
+	return st
+}
+
+// BruteForceSelf verifies every unordered pair with no filtering — the
+// O(n²) oracle the test suite compares every kernel and pipeline variant
+// against.
+func BruteForceSelf(items []Item, opts Options) []records.RIDPair {
+	var out []records.RIDPair
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			sim, ok := opts.Fn.Verify(items[i].Ranks, items[j].Ranks, opts.Threshold)
+			if ok {
+				a, b := items[i].RID, items[j].RID
+				if a > b {
+					a, b = b, a
+				}
+				out = append(out, records.RIDPair{A: a, B: b, Sim: sim})
+			}
+		}
+	}
+	return out
+}
+
+// BruteForceRS verifies every (R, S) pair with no filtering.
+func BruteForceRS(rItems, sItems []Item, opts Options) []records.RIDPair {
+	var out []records.RIDPair
+	for _, r := range rItems {
+		for _, s := range sItems {
+			sim, ok := opts.Fn.Verify(r.Ranks, s.Ranks, opts.Threshold)
+			if ok {
+				out = append(out, records.RIDPair{A: r.RID, B: s.RID, Sim: sim})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+// Package ppjoin implements the single-node set-similarity join kernels
+// that Stage 2 reducers run: the PPJoin/PPJoin+ inverted-index algorithm
+// of Xiao et al. (WWW 2008) — the paper's "PK" kernel and the
+// state-of-the-art baseline it builds on — plus the nested-loop kernel
+// with the same filter stack (the paper's "BK"), and a brute-force
+// reference join used as the test oracle.
+//
+// Items are record projections: an RID and the join attribute's token
+// ranks sorted rarest-first. The streaming Index expects items in
+// non-decreasing length order (the Stage 2 secondary sort guarantees it)
+// and exploits that order to evict index entries that the length filter
+// proves useless — the memory optimization §3.2.2 and §4 of the
+// reproduction target describe.
+package ppjoin
+
+import (
+	"sort"
+
+	"fuzzyjoin/internal/filter"
+	"fuzzyjoin/internal/records"
+	"fuzzyjoin/internal/simfn"
+)
+
+// Item is one record projection.
+type Item struct {
+	RID   uint64
+	Ranks []uint32
+}
+
+// Options configures a kernel.
+type Options struct {
+	// Fn is the similarity function (default Jaccard).
+	Fn simfn.Func
+	// Threshold is the similarity threshold τ.
+	Threshold float64
+	// Filters selects the filters applied after the prefix filter.
+	// Zero value disables all (prefix filter + verification only);
+	// use filter.AllFilters for the full PPJoin+ stack.
+	Filters filter.Stack
+}
+
+// Stats counts kernel work for the ablation experiments.
+type Stats struct {
+	// Candidates is the number of candidate pairs considered (after
+	// prefix filtering, before the other filters).
+	Candidates int64
+	// Verified is the number of pairs whose similarity was computed.
+	Verified int64
+	// Results is the number of pairs at or above the threshold.
+	Results int64
+}
+
+type entry struct {
+	item int // index into Index.items
+	pos  int // token position within the item's prefix
+}
+
+// Index is a streaming PPJoin+ index for items arriving in
+// non-decreasing length order.
+type Index struct {
+	opts    Options
+	items   []Item
+	lens    []int
+	posting map[uint32][]entry
+	// evicted[i] marks items removed by length-filter eviction.
+	evicted []bool
+	// alive tracks items not yet evicted, in insertion (length) order;
+	// head is the first alive index.
+	head  int
+	bytes int64
+	stats Stats
+
+	// Probe scratch state, generation-stamped so probes allocate nothing:
+	// gen[i] == curGen marks item i as seen by the current probe, with
+	// overlap[i] its accumulated prefix overlap and pruned[i] whether a
+	// filter killed it.
+	curGen  uint32
+	gen     []uint32
+	overlap []int32
+	pruned  []bool
+	cand    []int
+}
+
+// NewIndex creates an empty streaming index.
+func NewIndex(opts Options) *Index {
+	return &Index{opts: opts, posting: make(map[uint32][]entry)}
+}
+
+// Stats returns the kernel work counters accumulated so far.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// Bytes estimates the index's live memory footprint: rank storage plus
+// posting entries for non-evicted items.
+func (ix *Index) Bytes() int64 { return ix.bytes }
+
+// itemBytes estimates one item's contribution to the index footprint.
+func itemBytes(it Item, prefix int) int64 {
+	return int64(16 + 4*len(it.Ranks) + 16*prefix)
+}
+
+// Add indexes an item without probing (the R side of an R-S join). Items
+// must arrive in non-decreasing length order.
+func (ix *Index) Add(it Item) {
+	p := ix.opts.Fn.PrefixLength(len(it.Ranks), ix.opts.Threshold)
+	idx := len(ix.items)
+	ix.items = append(ix.items, it)
+	ix.lens = append(ix.lens, len(it.Ranks))
+	ix.evicted = append(ix.evicted, false)
+	for i := 0; i < p; i++ {
+		w := it.Ranks[i]
+		ix.posting[w] = append(ix.posting[w], entry{item: idx, pos: i})
+	}
+	ix.bytes += itemBytes(it, p)
+}
+
+// evictBelow drops every indexed item shorter than minLen. Streaming
+// callers pass the length filter's lower bound for the current probe;
+// because lengths arrive non-decreasing, eviction is monotone.
+func (ix *Index) evictBelow(minLen int) {
+	for ix.head < len(ix.items) && ix.lens[ix.head] < minLen {
+		if !ix.evicted[ix.head] {
+			ix.evicted[ix.head] = true
+			p := ix.opts.Fn.PrefixLength(ix.lens[ix.head], ix.opts.Threshold)
+			ix.bytes -= itemBytes(ix.items[ix.head], p)
+		}
+		ix.head++
+	}
+}
+
+// Probe finds all indexed items similar to x and passes them to emit as
+// (indexed RID, probe RID, sim). Length-filter eviction runs first when
+// the filter is enabled.
+func (ix *Index) Probe(x Item, emit func(pair records.RIDPair)) {
+	lx := len(x.Ranks)
+	if lx == 0 {
+		return
+	}
+	if ix.opts.Filters.Length {
+		lo, _ := ix.opts.Fn.LengthBounds(lx, ix.opts.Threshold)
+		ix.evictBelow(lo)
+	}
+	p := ix.opts.Fn.PrefixLength(lx, ix.opts.Threshold)
+
+	// Reset the generation-stamped scratch arrays (no per-probe
+	// allocation beyond amortized growth).
+	ix.curGen++
+	if n := len(ix.items); len(ix.gen) < n {
+		ix.gen = append(ix.gen, make([]uint32, n-len(ix.gen))...)
+		ix.overlap = append(ix.overlap, make([]int32, n-len(ix.overlap))...)
+		ix.pruned = append(ix.pruned, make([]bool, n-len(ix.pruned))...)
+	}
+	ix.cand = ix.cand[:0]
+
+	for i := 0; i < p; i++ {
+		w := x.Ranks[i]
+		post := ix.posting[w]
+		live := post[:0]
+		for _, e := range post {
+			if ix.evicted[e.item] {
+				continue // compact lazily
+			}
+			live = append(live, e)
+			seen := ix.gen[e.item] == ix.curGen
+			if seen && ix.pruned[e.item] {
+				continue
+			}
+			y := ix.items[e.item]
+			ly := ix.lens[e.item]
+			var a int
+			if seen {
+				a = int(ix.overlap[e.item])
+			} else {
+				ix.gen[e.item] = ix.curGen
+				ix.overlap[e.item] = 0
+				ix.pruned[e.item] = false
+				ix.stats.Candidates++
+				if ix.opts.Filters.Length && !filter.Length(ix.opts.Fn, lx, ly, ix.opts.Threshold) {
+					ix.pruned[e.item] = true
+					continue
+				}
+			}
+			need := ix.opts.Fn.OverlapThreshold(lx, ly, ix.opts.Threshold)
+			if ix.opts.Filters.Positional && !filter.Positional(lx, ly, i, e.pos, a+1, need) {
+				ix.pruned[e.item] = true
+				continue
+			}
+			if !seen && ix.opts.Filters.Suffix && !filter.Suffix(x.Ranks, y.Ranks, i, e.pos, need) {
+				ix.pruned[e.item] = true
+				continue
+			}
+			if !seen {
+				ix.cand = append(ix.cand, e.item)
+			}
+			ix.overlap[e.item] = int32(a + 1)
+		}
+		ix.posting[w] = live
+	}
+
+	// Verify surviving candidates in index order for deterministic
+	// output.
+	cand := ix.cand
+	sort.Ints(cand)
+	for _, c := range cand {
+		if ix.pruned[c] {
+			continue
+		}
+		y := ix.items[c]
+		ix.stats.Verified++
+		sim, ok := ix.opts.Fn.Verify(x.Ranks, y.Ranks, ix.opts.Threshold)
+		if ok {
+			ix.stats.Results++
+			emit(records.RIDPair{A: y.RID, B: x.RID, Sim: sim})
+		}
+	}
+}
+
+// ProbeAndAdd probes with x and then indexes it — the self-join streaming
+// step. Emitted pairs are normalized to A < B by RID (the self-join pair
+// convention Stage 3 dedups on).
+func (ix *Index) ProbeAndAdd(x Item, emit func(pair records.RIDPair)) {
+	ix.Probe(x, func(p records.RIDPair) {
+		if p.A > p.B {
+			p.A, p.B = p.B, p.A
+		}
+		emit(p)
+	})
+	ix.Add(x)
+}
+
+// SelfJoin runs the full single-node PPJoin+ self-join: items are sorted
+// by length and streamed through an Index. Pairs are emitted with the
+// smaller stream position first; each similar pair is emitted exactly
+// once.
+func SelfJoin(items []Item, opts Options, emit func(records.RIDPair)) Stats {
+	sorted := append([]Item(nil), items...)
+	sortByLen(sorted)
+	ix := NewIndex(opts)
+	for _, it := range sorted {
+		ix.ProbeAndAdd(it, emit)
+	}
+	return ix.Stats()
+}
+
+// RSJoin runs the full single-node PPJoin+ R-S join. To respect the
+// streaming length order across both relations it merges the two sorted
+// streams: every R item with length ≤ the length-filter upper bound of an
+// S item is added before that S item probes. Pairs are (R RID, S RID).
+func RSJoin(rItems, sItems []Item, opts Options, emit func(records.RIDPair)) Stats {
+	r := append([]Item(nil), rItems...)
+	s := append([]Item(nil), sItems...)
+	sortByLen(r)
+	sortByLen(s)
+	ix := NewIndex(opts)
+	ri := 0
+	for _, sv := range s {
+		_, hi := opts.Fn.LengthBounds(len(sv.Ranks), opts.Threshold)
+		for ri < len(r) && len(r[ri].Ranks) <= hi {
+			ix.Add(r[ri])
+			ri++
+		}
+		ix.Probe(sv, emit)
+	}
+	return ix.Stats()
+}
+
+func sortByLen(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if len(items[i].Ranks) != len(items[j].Ranks) {
+			return len(items[i].Ranks) < len(items[j].Ranks)
+		}
+		return items[i].RID < items[j].RID
+	})
+}

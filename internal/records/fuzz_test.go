@@ -1,0 +1,90 @@
+package records
+
+import (
+	"testing"
+)
+
+// Codec fuzzing: decoders must never panic on arbitrary bytes, and
+// valid encodings must round-trip.
+
+func FuzzDecodeProjection(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Projection{RID: 7, Ranks: []uint32{1, 5, 9}}.AppendBinary(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProjection(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to something that decodes
+		// to the same value (ranks may be unsorted in adversarial input,
+		// so compare decoded forms, not bytes).
+		q, err := DecodeProjection(p.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.RID != p.RID || len(q.Ranks) != len(p.Ranks) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", p, q)
+		}
+	})
+}
+
+func FuzzDecodeRIDPair(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(RIDPair{A: 1, B: 2, Sim: 0.875}.AppendBinary(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeRIDPair(data)
+		if err != nil {
+			return
+		}
+		q, err := DecodeRIDPair(p.AppendBinary(nil))
+		if err != nil || q.A != p.A || q.B != p.B {
+			t.Fatalf("round trip: %+v vs %+v (%v)", p, q, err)
+		}
+	})
+}
+
+func FuzzParseLine(f *testing.F) {
+	f.Add("1\ttitle\tauthors\trest")
+	f.Add("")
+	f.Add("\t\t\t")
+	f.Add("99999999999999999999\tx")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		// Lines without embedded newlines round-trip.
+		for i := 0; i < len(line); i++ {
+			if line[i] == '\n' || line[i] == '\r' {
+				return
+			}
+		}
+		rt, err := ParseLine(rec.Line())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if rt.RID != rec.RID || len(rt.Fields) != len(rec.Fields) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", rec, rt)
+		}
+	})
+}
+
+func FuzzParseJoinedPair(f *testing.F) {
+	f.Add(JoinedPair{
+		Left:  Record{RID: 1, Fields: []string{"a"}},
+		Right: Record{RID: 2, Fields: []string{"b"}},
+		Sim:   0.9,
+	}.String())
+	f.Add("")
+	f.Add("0.5\x1fx\x1fy")
+	f.Fuzz(func(t *testing.T, s string) {
+		jp, err := ParseJoinedPair(s)
+		if err != nil {
+			return
+		}
+		if _, err := ParseJoinedPair(jp.String()); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package records defines the record model shared by the join pipeline:
+// full records (RID plus fields, stored as tab-separated lines, the format
+// the paper produces from the DBLP/CITESEERX XML dumps), record
+// projections (RID plus the token-rank set of the join attribute, the
+// payload routed through Stage 2), RID pairs (Stage 2 output), and joined
+// record pairs (Stage 3 output).
+package records
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Field indices for the bibliographic datasets used in the paper's
+// evaluation: one line per publication with a unique integer RID, a title,
+// a list of authors, and the rest of the content.
+const (
+	FieldTitle = iota
+	FieldAuthors
+	FieldRest
+	NumFields
+)
+
+// Record is one input record: a unique RID and its fields.
+type Record struct {
+	RID    uint64
+	Fields []string
+}
+
+// ErrBadRecord reports a malformed record line.
+var ErrBadRecord = errors.New("records: malformed record line")
+
+// ParseLine parses a tab-separated record line "RID\tfield1\t...".
+func ParseLine(line string) (Record, error) {
+	parts := strings.Split(line, "\t")
+	if len(parts) < 2 {
+		return Record{}, fmt.Errorf("%w: %q", ErrBadRecord, line)
+	}
+	rid, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: bad RID in %q: %v", ErrBadRecord, line, err)
+	}
+	return Record{RID: rid, Fields: parts[1:]}, nil
+}
+
+// Line renders the record in the tab-separated input format. Fields must
+// not contain tabs or newlines; the dataset generator guarantees that, and
+// ParseLine would not round-trip them.
+func (r Record) Line() string {
+	var b strings.Builder
+	b.Grow(20 + r.fieldsLen())
+	b.WriteString(strconv.FormatUint(r.RID, 10))
+	for _, f := range r.Fields {
+		b.WriteByte('\t')
+		b.WriteString(f)
+	}
+	return b.String()
+}
+
+func (r Record) fieldsLen() int {
+	n := 0
+	for _, f := range r.Fields {
+		n += len(f) + 1
+	}
+	return n
+}
+
+// JoinAttr returns the join-attribute string: the concatenation of the
+// selected fields. The paper uses title + authors.
+func (r Record) JoinAttr(fields ...int) string {
+	if len(fields) == 1 {
+		if f := fields[0]; f < len(r.Fields) {
+			return r.Fields[f]
+		}
+		return ""
+	}
+	var b strings.Builder
+	for i, f := range fields {
+		if f >= len(r.Fields) {
+			continue
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(r.Fields[f])
+	}
+	return b.String()
+}
+
+// Projection is a record projected onto its RID and the token-rank set of
+// its join attribute (sorted rarest-first). It is the unit of data routed
+// to Stage 2 reducers.
+type Projection struct {
+	RID   uint64
+	Ranks []uint32
+}
+
+// AppendBinary encodes p compactly: uvarint RID, uvarint count, then
+// uvarint deltas between consecutive ranks (the ranks are sorted).
+func (p Projection) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, p.RID)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Ranks)))
+	prev := uint32(0)
+	for i, r := range p.Ranks {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(r))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(r-prev))
+		}
+		prev = r
+	}
+	return dst
+}
+
+// ErrBadProjection reports a truncated or corrupt projection encoding.
+var ErrBadProjection = errors.New("records: malformed projection")
+
+// DecodeProjection decodes an encoding produced by AppendBinary.
+func DecodeProjection(b []byte) (Projection, error) {
+	rid, n := binary.Uvarint(b)
+	if n <= 0 {
+		return Projection{}, ErrBadProjection
+	}
+	b = b[n:]
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return Projection{}, ErrBadProjection
+	}
+	b = b[n:]
+	// Every rank needs at least one encoded byte; a count beyond the
+	// remaining buffer is corrupt (and would otherwise make the
+	// allocation below attacker-sized).
+	if cnt > uint64(len(b)) {
+		return Projection{}, ErrBadProjection
+	}
+	ranks := make([]uint32, cnt)
+	prev := uint64(0)
+	for i := range ranks {
+		d, n := binary.Uvarint(b)
+		if n <= 0 {
+			return Projection{}, ErrBadProjection
+		}
+		b = b[n:]
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		ranks[i] = uint32(prev)
+	}
+	return Projection{RID: rid, Ranks: ranks}, nil
+}
+
+// RIDPair is a Stage 2 result: two similar records' RIDs and their
+// similarity. For self-joins A < B by construction; for R-S joins A is
+// the R-side RID and B the S-side RID.
+type RIDPair struct {
+	A, B uint64
+	Sim  float64
+}
+
+// AppendBinary encodes the pair: uvarint A, uvarint B, then the similarity
+// scaled to a fixed-point uint32 (1e-9 resolution is far below token-set
+// granularity).
+func (p RIDPair) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, p.A)
+	dst = binary.AppendUvarint(dst, p.B)
+	return binary.AppendUvarint(dst, uint64(p.Sim*1e9+0.5))
+}
+
+// ErrBadRIDPair reports a corrupt RID-pair encoding.
+var ErrBadRIDPair = errors.New("records: malformed RID pair")
+
+// DecodeRIDPair decodes an encoding produced by RIDPair.AppendBinary.
+func DecodeRIDPair(b []byte) (RIDPair, error) {
+	a, n := binary.Uvarint(b)
+	if n <= 0 {
+		return RIDPair{}, ErrBadRIDPair
+	}
+	b = b[n:]
+	bb, n := binary.Uvarint(b)
+	if n <= 0 {
+		return RIDPair{}, ErrBadRIDPair
+	}
+	b = b[n:]
+	s, n := binary.Uvarint(b)
+	if n <= 0 {
+		return RIDPair{}, ErrBadRIDPair
+	}
+	return RIDPair{A: a, B: bb, Sim: float64(s) / 1e9}, nil
+}
+
+// String renders the pair as "A B sim" (tab-separated), the text form of
+// the Stage 2 output.
+func (p RIDPair) String() string {
+	return strconv.FormatUint(p.A, 10) + "\t" + strconv.FormatUint(p.B, 10) + "\t" +
+		strconv.FormatFloat(p.Sim, 'f', 6, 64)
+}
+
+// JoinedPair is the final Stage 3 output: the two complete records and
+// their similarity.
+type JoinedPair struct {
+	Left, Right Record
+	Sim         float64
+}
+
+// String renders the joined pair on one line; the two record lines are
+// separated by a unit separator (0x1f) so tabs inside records stay
+// unambiguous.
+func (j JoinedPair) String() string {
+	return strconv.FormatFloat(j.Sim, 'f', 6, 64) + "\x1f" + j.Left.Line() + "\x1f" + j.Right.Line()
+}
+
+// ParseJoinedPair parses the String form.
+func ParseJoinedPair(s string) (JoinedPair, error) {
+	parts := strings.Split(s, "\x1f")
+	if len(parts) != 3 {
+		return JoinedPair{}, fmt.Errorf("records: malformed joined pair %q", s)
+	}
+	sim, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return JoinedPair{}, fmt.Errorf("records: bad similarity in joined pair: %v", err)
+	}
+	l, err := ParseLine(parts[1])
+	if err != nil {
+		return JoinedPair{}, err
+	}
+	r, err := ParseLine(parts[2])
+	if err != nil {
+		return JoinedPair{}, err
+	}
+	return JoinedPair{Left: l, Right: r, Sim: sim}, nil
+}

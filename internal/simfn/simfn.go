@@ -1,0 +1,234 @@
+// Package simfn defines the set-similarity functions used by the join
+// pipeline and the filter bounds derived from them.
+//
+// A record's join attribute is a token set represented as a slice of
+// uint32 ranks sorted in increasing global-frequency order (see
+// internal/tokenize). All functions here operate on such sorted rank
+// slices. For a similarity function sim and threshold τ, the package
+// provides:
+//
+//   - Sim(x, y): the similarity value;
+//   - PrefixLength(l, τ): how many leading (rarest) tokens must be
+//     examined so that any pair with sim ≥ τ shares at least one prefix
+//     token (the prefix-filtering principle, §2.3 of the paper);
+//   - LengthBounds(l, τ): the [lo, hi] range of set sizes that can still
+//     reach τ against a set of size l (the length filter);
+//   - OverlapThreshold(lx, ly, τ): the minimum intersection size two sets
+//     of the given sizes need for sim ≥ τ.
+//
+// Jaccard is the function used throughout the paper's evaluation
+// (τ = 0.80); cosine and dice are provided because §2 lists them as
+// alternatives, and their bounds follow the standard derivations from the
+// set-similarity join literature.
+package simfn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func identifies a set-similarity function.
+type Func int
+
+const (
+	// Jaccard is |x∩y| / |x∪y|.
+	Jaccard Func = iota
+	// Cosine is |x∩y| / sqrt(|x|·|y|).
+	Cosine
+	// Dice is 2|x∩y| / (|x|+|y|).
+	Dice
+)
+
+// String implements fmt.Stringer.
+func (f Func) String() string {
+	switch f {
+	case Jaccard:
+		return "jaccard"
+	case Cosine:
+		return "cosine"
+	case Dice:
+		return "dice"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// ParseFunc converts a name accepted on command lines to a Func.
+func ParseFunc(name string) (Func, error) {
+	switch name {
+	case "jaccard":
+		return Jaccard, nil
+	case "cosine":
+		return Cosine, nil
+	case "dice":
+		return Dice, nil
+	default:
+		return 0, fmt.Errorf("simfn: unknown similarity function %q", name)
+	}
+}
+
+// Overlap returns |x∩y| for two rank slices sorted in increasing order.
+func Overlap(x, y []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] == y[j]:
+			n++
+			i++
+			j++
+		case x[i] < y[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Sim returns the similarity of the two sorted rank slices under f.
+// Two empty sets have similarity 0.
+func (f Func) Sim(x, y []uint32) float64 {
+	o := Overlap(x, y)
+	return f.simFromOverlap(o, len(x), len(y))
+}
+
+func (f Func) simFromOverlap(o, lx, ly int) float64 {
+	if lx == 0 || ly == 0 {
+		return 0
+	}
+	switch f {
+	case Jaccard:
+		return float64(o) / float64(lx+ly-o)
+	case Cosine:
+		return float64(o) / math.Sqrt(float64(lx)*float64(ly))
+	case Dice:
+		return 2 * float64(o) / float64(lx+ly)
+	default:
+		panic("simfn: unknown function")
+	}
+}
+
+// eps guards the ceil/floor computations below against float64 artifacts
+// like 0.8*5 = 4.000000000000001, which would otherwise inflate a ceiling.
+const eps = 1e-9
+
+func ceilF(v float64) int  { return int(math.Ceil(v - eps)) }
+func floorF(v float64) int { return int(math.Floor(v + eps)) }
+
+// OverlapThreshold returns the minimum |x∩y| required for two sets of
+// sizes lx and ly to satisfy sim ≥ t. The result may exceed min(lx, ly),
+// in which case no overlap suffices and the pair can be pruned outright.
+func (f Func) OverlapThreshold(lx, ly int, t float64) int {
+	switch f {
+	case Jaccard:
+		// o/(lx+ly-o) ≥ t  ⇔  o ≥ t(lx+ly)/(1+t)
+		return ceilF(t * float64(lx+ly) / (1 + t))
+	case Cosine:
+		return ceilF(t * math.Sqrt(float64(lx)*float64(ly)))
+	case Dice:
+		return ceilF(t * float64(lx+ly) / 2)
+	default:
+		panic("simfn: unknown function")
+	}
+}
+
+// LengthBounds returns the inclusive range [lo, hi] of sizes a set may
+// have and still reach sim ≥ t against a set of size l (the length filter
+// of Arasu et al.). For l == 0 it returns [0, 0].
+func (f Func) LengthBounds(l int, t float64) (lo, hi int) {
+	if l == 0 {
+		return 0, 0
+	}
+	switch f {
+	case Jaccard:
+		return ceilF(t * float64(l)), floorF(float64(l) / t)
+	case Cosine:
+		return ceilF(t * t * float64(l)), floorF(float64(l) / (t * t))
+	case Dice:
+		// 2o/(lx+ly) ≥ t with o ≤ min(lx, ly) ⇒ bounds t·l/(2−t) … l(2−t)/t.
+		return ceilF(t * float64(l) / (2 - t)), floorF(float64(l) * (2 - t) / t)
+	default:
+		panic("simfn: unknown function")
+	}
+}
+
+// PrefixLength returns the prefix size for a set of l tokens: examining
+// the first PrefixLength tokens of each set (in global rank order)
+// guarantees that any pair with sim ≥ t shares at least one prefix token.
+// The bound is l − minOverlap(l, l') + 1 maximized over admissible
+// partner sizes l'; for the functions here the standard closed forms are
+// used. Returns 0 for an empty set.
+func (f Func) PrefixLength(l int, t float64) int {
+	if l == 0 {
+		return 0
+	}
+	var p int
+	switch f {
+	case Jaccard:
+		// l − ⌈t·l⌉ + 1: a partner must contain at least ⌈t·l⌉ of the
+		// set's tokens (the self-pair case is the tightest).
+		p = l - ceilF(t*float64(l)) + 1
+	case Cosine:
+		p = l - ceilF(t*t*float64(l)) + 1
+	case Dice:
+		p = l - ceilF(t*float64(l)/(2-t)) + 1
+	default:
+		panic("simfn: unknown function")
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > l {
+		p = l
+	}
+	return p
+}
+
+// VerifyOverlap computes |x∩y| with early termination: it returns
+// (overlap, true) if the overlap reaches need, and (partial, false) as
+// soon as the remaining tokens cannot reach need. x and y must be sorted.
+func VerifyOverlap(x, y []uint32, need int) (int, bool) {
+	if need <= 0 {
+		return Overlap(x, y), true
+	}
+	o, i, j := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		// Even if every remaining token matched, can we still reach need?
+		rem := len(x) - i
+		if r2 := len(y) - j; r2 < rem {
+			rem = r2
+		}
+		if o+rem < need {
+			return o, false
+		}
+		switch {
+		case x[i] == y[j]:
+			o++
+			i++
+			j++
+		case x[i] < y[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return o, o >= need
+}
+
+// Verify reports whether sim(x, y) ≥ t and returns the exact similarity
+// when it is. When the pair fails the threshold the returned similarity
+// is a lower bound only (early termination may have stopped counting).
+func (f Func) Verify(x, y []uint32, t float64) (float64, bool) {
+	need := f.OverlapThreshold(len(x), len(y), t)
+	if need > len(x) || need > len(y) {
+		return 0, false
+	}
+	// VerifyOverlap only terminates early on failure, so on success o is
+	// the exact overlap.
+	o, ok := VerifyOverlap(x, y, need)
+	if !ok {
+		return f.simFromOverlap(o, len(x), len(y)), false
+	}
+	sim := f.simFromOverlap(o, len(x), len(y))
+	return sim, sim+eps >= t
+}

@@ -1,0 +1,277 @@
+package simfn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sortedSet builds a sorted duplicate-free rank slice from arbitrary input.
+func sortedSet(in []uint32) []uint32 {
+	seen := make(map[uint32]bool, len(in))
+	out := make([]uint32, 0, len(in))
+	for _, v := range in {
+		v %= 64 // keep the universe small so overlaps actually occur
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestOverlapBasic(t *testing.T) {
+	x := []uint32{1, 3, 5, 7}
+	y := []uint32{3, 4, 5, 6, 7}
+	if got := Overlap(x, y); got != 3 {
+		t.Fatalf("Overlap = %d, want 3", got)
+	}
+	if got := Overlap(nil, y); got != 0 {
+		t.Fatalf("Overlap(nil, y) = %d", got)
+	}
+}
+
+func TestJaccardPaperExample(t *testing.T) {
+	// §2: jaccard("I will call back", "I will call you soon") = 3/6 = 0.5.
+	x := []uint32{0, 1, 2, 3}    // i will call back
+	y := []uint32{0, 1, 2, 4, 5} // i will call you soon
+	if got := Jaccard.Sim(x, y); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Jaccard = %v, want 0.5", got)
+	}
+}
+
+func TestSimEmptySets(t *testing.T) {
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		if got := f.Sim(nil, nil); got != 0 {
+			t.Fatalf("%v.Sim(∅,∅) = %v, want 0", f, got)
+		}
+		if got := f.Sim([]uint32{1}, nil); got != 0 {
+			t.Fatalf("%v.Sim(x,∅) = %v, want 0", f, got)
+		}
+	}
+}
+
+func TestSimIdentityProperty(t *testing.T) {
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		fn := func(in []uint32) bool {
+			x := sortedSet(in)
+			if len(x) == 0 {
+				return true
+			}
+			return math.Abs(f.Sim(x, x)-1.0) < 1e-12
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestSimSymmetryAndRangeProperty(t *testing.T) {
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		fn := func(a, b []uint32) bool {
+			x, y := sortedSet(a), sortedSet(b)
+			s1, s2 := f.Sim(x, y), f.Sim(y, x)
+			return s1 == s2 && s1 >= 0 && s1 <= 1+1e-12
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestPrefixLengthJaccard(t *testing.T) {
+	// Known values for τ=0.8: l=5 → 5-4+1=2; l=10 → 10-8+1=3; l=4 → 4-4+1=1.
+	cases := []struct{ l, want int }{
+		{1, 1}, {4, 1}, {5, 2}, {10, 3}, {100, 21},
+	}
+	for _, c := range cases {
+		if got := Jaccard.PrefixLength(c.l, 0.8); got != c.want {
+			t.Errorf("PrefixLength(%d, 0.8) = %d, want %d", c.l, got, c.want)
+		}
+	}
+	if got := Jaccard.PrefixLength(0, 0.8); got != 0 {
+		t.Errorf("PrefixLength(0) = %d", got)
+	}
+}
+
+func TestLengthBoundsJaccard(t *testing.T) {
+	lo, hi := Jaccard.LengthBounds(10, 0.8)
+	if lo != 8 || hi != 12 {
+		t.Fatalf("LengthBounds(10, 0.8) = [%d, %d], want [8, 12]", lo, hi)
+	}
+	lo, hi = Jaccard.LengthBounds(5, 0.8)
+	if lo != 4 || hi != 6 {
+		t.Fatalf("LengthBounds(5, 0.8) = [%d, %d], want [4, 6]", lo, hi)
+	}
+	lo, hi = Jaccard.LengthBounds(0, 0.8)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("LengthBounds(0) = [%d, %d]", lo, hi)
+	}
+}
+
+// TestLengthBoundsAdmissible: no pair with sim ≥ τ may fall outside the
+// length bounds — for every function.
+func TestLengthBoundsAdmissible(t *testing.T) {
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		for _, tau := range []float64{0.5, 0.8, 0.9} {
+			fn := func(a, b []uint32) bool {
+				x, y := sortedSet(a), sortedSet(b)
+				if len(x) == 0 || len(y) == 0 {
+					return true
+				}
+				if f.Sim(x, y) < tau {
+					return true
+				}
+				lo, hi := f.LengthBounds(len(x), tau)
+				return len(y) >= lo && len(y) <= hi
+			}
+			if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+				t.Fatalf("%v τ=%v: %v", f, tau, err)
+			}
+		}
+	}
+}
+
+// TestOverlapThresholdAdmissible: sim(x,y) ≥ τ ⇒ overlap ≥ threshold, and
+// sim < τ ⇒ overlap < threshold (the threshold is exact, not just a bound).
+func TestOverlapThresholdExact(t *testing.T) {
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		for _, tau := range []float64{0.5, 0.8} {
+			fn := func(a, b []uint32) bool {
+				x, y := sortedSet(a), sortedSet(b)
+				if len(x) == 0 || len(y) == 0 {
+					return true
+				}
+				o := Overlap(x, y)
+				need := f.OverlapThreshold(len(x), len(y), tau)
+				if f.Sim(x, y) >= tau-1e-12 {
+					return o >= need
+				}
+				return o < need
+			}
+			if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+				t.Fatalf("%v τ=%v: %v", f, tau, err)
+			}
+		}
+	}
+}
+
+// TestPrefixFilterCompleteness is the core prefix-filtering principle: if
+// sim(x, y) ≥ τ then the two prefixes share at least one token.
+func TestPrefixFilterCompleteness(t *testing.T) {
+	for _, f := range []Func{Jaccard, Cosine, Dice} {
+		for _, tau := range []float64{0.5, 0.8, 0.9} {
+			fn := func(a, b []uint32) bool {
+				x, y := sortedSet(a), sortedSet(b)
+				if len(x) == 0 || len(y) == 0 {
+					return true
+				}
+				if f.Sim(x, y) < tau {
+					return true
+				}
+				px := x[:f.PrefixLength(len(x), tau)]
+				py := y[:f.PrefixLength(len(y), tau)]
+				return Overlap(px, py) > 0
+			}
+			if err := quick.Check(fn, &quick.Config{MaxCount: 600}); err != nil {
+				t.Fatalf("%v τ=%v: %v", f, tau, err)
+			}
+		}
+	}
+}
+
+func TestVerifyAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 2000; iter++ {
+		x := randomSet(rng, 12)
+		y := randomSet(rng, 12)
+		for _, f := range []Func{Jaccard, Cosine, Dice} {
+			tau := 0.5 + rng.Float64()*0.45
+			sim, ok := f.Verify(x, y, tau)
+			naive := f.Sim(x, y)
+			wantOK := naive >= tau-1e-9
+			if ok != wantOK {
+				t.Fatalf("%v τ=%v x=%v y=%v: Verify ok=%v, naive sim=%v", f, tau, x, y, ok, naive)
+			}
+			if ok && math.Abs(sim-naive) > 1e-12 {
+				t.Fatalf("%v: Verify sim=%v, naive=%v", f, sim, naive)
+			}
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand, maxLen int) []uint32 {
+	n := rng.Intn(maxLen + 1)
+	seen := map[uint32]bool{}
+	out := []uint32{}
+	for len(out) < n {
+		v := uint32(rng.Intn(32))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestVerifyOverlapEarlyTermination(t *testing.T) {
+	x := []uint32{1, 2, 3, 4, 5}
+	y := []uint32{10, 11, 12, 13, 14}
+	o, ok := VerifyOverlap(x, y, 3)
+	if ok {
+		t.Fatalf("VerifyOverlap reported ok with zero overlap (o=%d)", o)
+	}
+	o, ok = VerifyOverlap(x, x, 5)
+	if !ok || o != 5 {
+		t.Fatalf("VerifyOverlap(x, x, 5) = %d, %v", o, ok)
+	}
+	o, ok = VerifyOverlap(x, y, 0)
+	if !ok || o != 0 {
+		t.Fatalf("VerifyOverlap(x, y, 0) = %d, %v", o, ok)
+	}
+}
+
+func TestCeilFloorGuards(t *testing.T) {
+	// 0.8 * 5 == 4.000000000000001 in float64; the ceiling must be 4.
+	if got := ceilF(0.8 * 5); got != 4 {
+		t.Fatalf("ceilF(0.8*5) = %d, want 4", got)
+	}
+	if got := floorF(5.0 / 0.8); got != 6 {
+		t.Fatalf("floorF(5/0.8) = %d, want 6", got)
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	if Jaccard.String() != "jaccard" || Cosine.String() != "cosine" || Dice.String() != "dice" {
+		t.Fatal("String values wrong")
+	}
+	if Func(99).String() != "Func(99)" {
+		t.Fatalf("unknown Func String = %q", Func(99).String())
+	}
+}
+
+func TestParseFunc(t *testing.T) {
+	for _, name := range []string{"jaccard", "cosine", "dice"} {
+		f, err := ParseFunc(name)
+		if err != nil || f.String() != name {
+			t.Fatalf("ParseFunc(%q) = %v, %v", name, f, err)
+		}
+	}
+	if _, err := ParseFunc("euclid"); err == nil {
+		t.Fatal("ParseFunc accepted unknown name")
+	}
+}
+
+func BenchmarkVerifyJaccard(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSet(rng, 20)
+	y := randomSet(rng, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Jaccard.Verify(x, y, 0.8)
+	}
+}

@@ -1,0 +1,290 @@
+// Package svgplot renders minimal line and grouped-bar charts as SVG —
+// enough to regenerate the paper's figures (running-time curves over
+// cluster sizes, stacked per-stage bars over dataset sizes) from the
+// experiment harness without any dependency.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	// Y[i] pairs with the chart's X[i]; NaN marks a missing point (e.g.
+	// an OOM cell), which breaks the line and draws an ✕.
+	Y []float64
+}
+
+// Chart describes a line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// X values (shared by all series).
+	X []float64
+	// XTickLabels overrides the numeric tick labels when set.
+	XTickLabels []string
+	Series      []Series
+}
+
+// palette follows the classic gnuplot-ish ordering the paper's figures
+// use.
+var palette = []string{"#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400", "#16a085"}
+
+const (
+	width   = 640
+	height  = 420
+	marginL = 70
+	marginR = 160
+	marginT = 44
+	marginB = 56
+)
+
+// Line renders the chart as an SVG document.
+func Line(c Chart) string {
+	var b strings.Builder
+	header(&b, c.Title)
+
+	xmin, xmax := bounds(c.X)
+	var ys []float64
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if !math.IsNaN(v) {
+				ys = append(ys, v)
+			}
+		}
+	}
+	ymin, ymax := bounds(ys)
+	if ymin > 0 {
+		ymin = 0 // running-time axes start at zero, like the paper's
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(height-marginB) - (y-ymin)/(ymax-ymin)*plotH }
+
+	axes(&b, c, xmin, xmax, ymin, ymax, px, py)
+
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var path strings.Builder
+		pen := false
+		for i, v := range s.Y {
+			if i >= len(c.X) {
+				break
+			}
+			if math.IsNaN(v) {
+				pen = false
+				// Mark the missing point (the paper annotates OOM cells).
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="middle">✕</text>`+"\n",
+					px(c.X[i]), py(ymin)+(-6), color)
+				continue
+			}
+			cmd := "L"
+			if !pen {
+				cmd = "M"
+				pen = true
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(c.X[i]), py(v))
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(c.X[i]), py(v), color)
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		legend(&b, si, s.Name, color)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// StackedBars renders grouped stacked bars: one group per X label, one
+// stacked bar per series-set entry (e.g. per algorithm combination), with
+// Stack layers (e.g. the three stages).
+type StackedBars struct {
+	Title  string
+	YLabel string
+	// Groups label the x axis (e.g. "x5", "x10", "x25").
+	Groups []string
+	// Bars are the per-group bar names (e.g. combos).
+	Bars []string
+	// Layers name the stack segments bottom-up (e.g. stages).
+	Layers []string
+	// Value[g][b][l] is the height of layer l of bar b in group g; NaN
+	// anywhere marks the whole bar as failed (drawn as an ✕).
+	Value [][][]float64
+}
+
+// Bars renders the stacked bar chart as an SVG document.
+func Bars(sb StackedBars) string {
+	var b strings.Builder
+	header(&b, sb.Title)
+
+	ymax := 0.0
+	for _, g := range sb.Value {
+		for _, bar := range g {
+			total, bad := 0.0, false
+			for _, v := range bar {
+				if math.IsNaN(v) {
+					bad = true
+					break
+				}
+				total += v
+			}
+			if !bad && total > ymax {
+				ymax = total
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	py := func(y float64) float64 { return float64(height-marginB) - y/ymax*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	yTicks(&b, 0, ymax, py)
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		height/2, height/2, esc(sb.YLabel))
+
+	groupW := plotW / float64(len(sb.Groups))
+	barW := groupW / float64(len(sb.Bars)+1)
+	for gi, g := range sb.Value {
+		gx := float64(marginL) + float64(gi)*groupW
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, height-marginB+18, esc(sb.Groups[gi]))
+		for bi, bar := range g {
+			x := gx + (float64(bi)+0.5)*barW
+			bad := false
+			for _, v := range bar {
+				if math.IsNaN(v) {
+					bad = true
+				}
+			}
+			if bad {
+				fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="13" text-anchor="middle" fill="#c0392b">✕ OOM</text>`+"\n",
+					x+barW/2, py(0)-6)
+				continue
+			}
+			acc := 0.0
+			for li, v := range bar {
+				y0, y1 := py(acc), py(acc+v)
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#fff" stroke-width="0.5"/>`+"\n",
+					x, y1, barW*0.9, y0-y1, palette[li%len(palette)])
+				acc += v
+			}
+		}
+	}
+	for li, l := range sb.Layers {
+		legend(&b, li, l, palette[li%len(palette)])
+	}
+	// Bar names under the legend.
+	for bi, name := range sb.Bars {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#555">bar %d: %s</text>`+"\n",
+			width-marginR+12, marginT+20*(len(sb.Layers))+16+14*bi, bi+1, esc(name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="24" font-size="15" text-anchor="middle">%s</text>`+"\n", width/2, esc(title))
+}
+
+func axes(b *strings.Builder, c Chart, xmin, xmax, ymin, ymax float64, px, py func(float64) float64) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	for i, x := range c.X {
+		label := trimFloat(x)
+		if i < len(c.XTickLabels) {
+			label = c.XTickLabels[i]
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px(x), height-marginB+16, esc(label))
+	}
+	yTicks(b, ymin, ymax, py)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, height-14, esc(c.XLabel))
+	fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		height/2, height/2, esc(c.YLabel))
+}
+
+func yTicks(b *strings.Builder, ymin, ymax float64, py func(float64) float64) {
+	step := niceStep((ymax - ymin) / 5)
+	for v := math.Ceil(ymin/step) * step; v <= ymax+1e-9; v += step {
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py(v), width-marginR, py(v))
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py(v)+4, trimFloat(v))
+	}
+}
+
+func legend(b *strings.Builder, i int, name, color string) {
+	y := marginT + 20*i
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="14" height="4" fill="%s"/>`+"\n", width-marginR+12, y, color)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", width-marginR+32, y+6, esc(name))
+}
+
+func bounds(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 1
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// niceStep rounds a raw tick step to 1/2/5 × 10^k.
+func niceStep(raw float64) float64 {
+	if raw <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag < 1.5:
+		return mag
+	case raw/mag < 3.5:
+		return 2 * mag
+	case raw/mag < 7.5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,131 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineFixture() Chart {
+	return Chart{
+		Title:  "Figure 9: self-join speedup",
+		XLabel: "# Nodes",
+		YLabel: "Time (seconds)",
+		X:      []float64{2, 4, 6, 8, 10},
+		Series: []Series{
+			{Name: "BTO-BK-BRJ", Y: []float64{0.50, 0.35, 0.31, 0.28, 0.25}},
+			{Name: "BTO-PK-OPRJ", Y: []float64{0.50, 0.34, math.NaN(), 0.28, 0.26}},
+		},
+	}
+}
+
+func TestLineWellFormedXML(t *testing.T) {
+	svg := Line(lineFixture())
+	var any struct{}
+	if err := xml.Unmarshal([]byte(svg), &any); err != nil {
+		t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+	}
+}
+
+func TestLineContent(t *testing.T) {
+	svg := Line(lineFixture())
+	for _, want := range []string{
+		"Figure 9: self-join speedup",
+		"BTO-BK-BRJ",
+		"BTO-PK-OPRJ",
+		"# Nodes",
+		"Time (seconds)",
+		"<path",
+		"<circle",
+		"✕", // the NaN marker
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series → two paths.
+	if got := strings.Count(svg, "<path"); got != 2 {
+		t.Fatalf("paths = %d, want 2", got)
+	}
+	// 9 drawable points (10 minus the NaN).
+	if got := strings.Count(svg, "<circle"); got != 9 {
+		t.Fatalf("circles = %d, want 9", got)
+	}
+}
+
+func TestLineDegenerateInputs(t *testing.T) {
+	// Empty chart must not panic or divide by zero.
+	svg := Line(Chart{Title: "empty"})
+	if !strings.Contains(svg, "</svg>") {
+		t.Fatal("no closing tag")
+	}
+	// Single constant point.
+	svg = Line(Chart{X: []float64{5}, Series: []Series{{Name: "s", Y: []float64{3}}}})
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatalf("degenerate chart produced NaN/Inf coordinates:\n%s", svg)
+	}
+}
+
+func TestLineEscapesLabels(t *testing.T) {
+	svg := Line(Chart{Title: `<script>&"`, X: []float64{1}, Series: []Series{{Name: "a&b", Y: []float64{1}}}})
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&amp;b") {
+		t.Fatal("series name not escaped")
+	}
+}
+
+func barsFixture() StackedBars {
+	return StackedBars{
+		Title:  "Figure 8: self-join total time",
+		YLabel: "Time (seconds)",
+		Groups: []string{"x5", "x10", "x25"},
+		Bars:   []string{"BTO-BK-BRJ", "BTO-PK-OPRJ"},
+		Layers: []string{"stage1", "stage2", "stage3"},
+		Value: [][][]float64{
+			{{0.08, 0.06, 0.06}, {0.08, 0.07, 0.06}},
+			{{0.10, 0.07, 0.08}, {0.10, 0.07, 0.09}},
+			{{0.12, 0.12, 0.12}, {math.NaN(), math.NaN(), math.NaN()}},
+		},
+	}
+}
+
+func TestBarsWellFormedXML(t *testing.T) {
+	svg := Bars(barsFixture())
+	var any struct{}
+	if err := xml.Unmarshal([]byte(svg), &any); err != nil {
+		t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+	}
+}
+
+func TestBarsContent(t *testing.T) {
+	svg := Bars(barsFixture())
+	for _, want := range []string{"x25", "stage2", "OOM", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// 5 intact bars × 3 layers + background rect.
+	if got := strings.Count(svg, "<rect"); got < 16 {
+		t.Fatalf("rects = %d, want >= 16", got)
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.13, 0.1}, {0.4, 0.5}, {3, 2}, {8, 10}, {0, 1}, {120, 100},
+	}
+	for _, c := range cases {
+		if got := niceStep(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("niceStep(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(2.50) != "2.5" || trimFloat(2.00) != "2" || trimFloat(0.25) != "0.25" {
+		t.Fatalf("trimFloat wrong: %q %q %q", trimFloat(2.50), trimFloat(2.00), trimFloat(0.25))
+	}
+}
