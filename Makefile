@@ -1,0 +1,26 @@
+# Developer entry points. `make tier1` is the gate every change must
+# pass: build + full test suite, vet, and the race detector over the
+# runtime packages (the engine and DFS run user code across goroutines).
+
+GO ?= go
+
+.PHONY: all build test vet race tier1 bench
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/mapreduce/... ./internal/dfs/...
+
+tier1: build test vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -40,6 +40,12 @@ func main() {
 		red    = flag.Int("reducers", 8, "reduce tasks per job")
 		par    = flag.Int("par", 4, "host parallelism")
 		stats  = flag.Bool("stats", false, "print per-stage statistics to stderr")
+
+		maxAttempts = flag.Int("max-attempts", 1, "attempts per task before the job fails (1 = no retries)")
+		backoff     = flag.Duration("retry-backoff", 0, "base delay before a task retry (exponential, jittered)")
+		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt wall-clock limit (0 = none)")
+		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic failures into this fraction of task attempts (needs -max-attempts > 1)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed selecting which tasks the injected failures hit")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -50,6 +56,17 @@ func main() {
 	cfg, err := buildConfig(*tau, *fnName, *s1, *s2, *s3, *red, *par)
 	if err != nil {
 		fatal(err)
+	}
+	cfg.Retry = fuzzyjoin.RetryPolicy{
+		MaxAttempts:    *maxAttempts,
+		Backoff:        *backoff,
+		AttemptTimeout: *taskTimeout,
+	}
+	if *faultRate > 0 {
+		if *maxAttempts <= 1 {
+			fatal(fmt.Errorf("-fault-rate %v needs -max-attempts > 1 for the job to survive the injected failures", *faultRate))
+		}
+		cfg.FaultInjector = fuzzyjoin.RateInjector{Rate: *faultRate, Seed: *faultSeed}
 	}
 
 	fs := fuzzyjoin.NewFS(1)

@@ -9,7 +9,7 @@
 //
 // -only selects a comma-separated subset of experiment names (fig8, fig9,
 // table1, fig11, table2, fig12, fig13, fig14, groups, skew, blocks,
-// filters, kernels, routing, combiner, singlestage, engine, tau).
+// filters, kernels, routing, combiner, singlestage, engine, tau, faults).
 package main
 
 import (
@@ -127,4 +127,5 @@ func main() {
 	run("singlestage", func() (renderer, error) { return s.SingleStage() })
 	run("engine", func() (renderer, error) { return s.EngineAblation() })
 	run("tau", func() (renderer, error) { return s.ThresholdSweep() })
+	run("faults", func() (renderer, error) { return s.FaultAblation() })
 }

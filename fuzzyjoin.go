@@ -87,6 +87,30 @@ const (
 	Dice    = simfn.Dice
 )
 
+// Fault-tolerance configuration (see the field docs in
+// internal/mapreduce): Config.Retry re-executes failed task attempts the
+// way Hadoop does, and Config.FaultInjector deterministically fails
+// chosen attempts for tests and failure experiments.
+type (
+	// RetryPolicy bounds attempts per task and shapes the backoff.
+	RetryPolicy = mapreduce.RetryPolicy
+	// FaultInjector decides which task attempts to fail.
+	FaultInjector = mapreduce.FaultInjector
+	// TaskRef identifies one task attempt (job, phase, task, attempt).
+	TaskRef = mapreduce.TaskRef
+	// RateInjector fails a deterministic pseudo-random fraction of tasks.
+	RateInjector = mapreduce.RateInjector
+)
+
+// FailAttempts returns an injector failing exactly the listed attempts.
+func FailAttempts(refs ...TaskRef) FaultInjector { return mapreduce.FailAttempts(refs...) }
+
+// Task phases for TaskRef.
+const (
+	MapPhase    = mapreduce.MapPhase
+	ReducePhase = mapreduce.ReducePhase
+)
+
 // Record field indices for the bibliographic record layout.
 const (
 	FieldTitle   = records.FieldTitle

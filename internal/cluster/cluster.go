@@ -71,9 +71,18 @@ func Default(nodes int) Spec {
 type JobCost struct {
 	// Name labels the job.
 	Name string
-	// MapCosts and ReduceCosts are the measured per-task execution times.
+	// MapCosts and ReduceCosts are the measured per-task execution times
+	// of each task's committed attempt.
 	MapCosts    []time.Duration
 	ReduceCosts []time.Duration
+	// MapAttempts and ReduceAttempts, when set, carry each task's full
+	// attempt-cost chain (failed attempts first, committed attempt
+	// last). The scheduler charges a failed attempt's slot occupancy
+	// before rescheduling the retry, so makespans reflect re-execution.
+	// A nil entry (or nil slice) means the task ran once at its
+	// MapCosts/ReduceCosts value.
+	MapAttempts    [][]time.Duration
+	ReduceAttempts [][]time.Duration
 	// MapLocations lists, per map task, the nodes holding its input
 	// split; a non-local assignment pays a remote read of MapInputBytes.
 	// Empty slices disable the locality model for that task.
@@ -101,11 +110,32 @@ func FromMetrics(m *mapreduce.Metrics) JobCost {
 		jc.MapCosts[i] = t.Cost
 		jc.MapLocations[i] = t.Locations
 		jc.MapInputBytes[i] = t.InputBytes
+		if t.Attempts > 1 {
+			if jc.MapAttempts == nil {
+				jc.MapAttempts = make([][]time.Duration, len(m.MapTasks))
+			}
+			jc.MapAttempts[i] = append([]time.Duration(nil), t.AttemptCosts...)
+		}
 	}
 	for i, t := range m.ReduceTasks {
 		jc.ReduceCosts[i] = t.Cost
+		if t.Attempts > 1 {
+			if jc.ReduceAttempts == nil {
+				jc.ReduceAttempts = make([][]time.Duration, len(m.ReduceTasks))
+			}
+			jc.ReduceAttempts[i] = append([]time.Duration(nil), t.AttemptCosts...)
+		}
 	}
 	return jc
+}
+
+// attemptChain returns task i's attempt-cost chain: the recorded chain
+// when present, else the single committed cost.
+func attemptChain(attempts [][]time.Duration, i int, cost time.Duration) []time.Duration {
+	if i < len(attempts) && len(attempts[i]) > 0 {
+		return attempts[i]
+	}
+	return []time.Duration{cost}
 }
 
 // ScheduleStats reports how the map wave was placed.
@@ -122,19 +152,28 @@ type ScheduleStats struct {
 // behaviour of Hadoop's scheduler: a task runs on a node holding its
 // split when that doesn't delay it beyond the cost of fetching the split
 // remotely; otherwise it runs anywhere and pays the remote read.
+//
+// A task with a recorded attempt chain occupies its chosen slot for each
+// failed attempt's cost, then the retry is rescheduled onto whichever
+// slot is best at that point — it cannot start before the failure was
+// detected, so re-executed work serializes within the task while other
+// tasks fill the freed capacity.
 func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 	slots := s.Nodes * s.MapSlotsPerNode
 	if slots < 1 {
 		slots = 1
 	}
 	type task struct {
-		cost    time.Duration
-		penalty time.Duration
-		locs    []int
+		attempts []time.Duration
+		penalty  time.Duration
+		locs     []int
 	}
 	tasks := make([]task, len(jc.MapCosts))
 	for i, c := range jc.MapCosts {
-		t := task{cost: c + s.TaskOverhead}
+		var t task
+		for _, a := range attemptChain(jc.MapAttempts, i, c) {
+			t.attempts = append(t.attempts, a+s.TaskOverhead)
+		}
 		if i < len(jc.MapLocations) && len(jc.MapLocations[i]) > 0 && s.NetBytesPerSec > 0 {
 			t.locs = jc.MapLocations[i]
 			if i < len(jc.MapInputBytes) {
@@ -143,23 +182,27 @@ func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 		}
 		tasks[i] = t
 	}
-	// LPT order.
-	sort.Slice(tasks, func(i, j int) bool { return tasks[i].cost > tasks[j].cost })
+	// LPT order by first-attempt demand: the scheduler is failure-blind
+	// and cannot sort by work it doesn't know will be re-executed.
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].attempts[0] > tasks[j].attempts[0] })
 
 	loads := make([]time.Duration, slots)
 	var st ScheduleStats
 	nodeOf := func(slot int) int { return slot / s.MapSlotsPerNode }
-	for _, t := range tasks {
+	// placeAttempt runs one attempt no earlier than ready, preferring a
+	// slot local to the split unless waiting for one costs more than the
+	// remote read, and returns the finish time.
+	placeAttempt := func(t task, cost, ready time.Duration) time.Duration {
 		bestAny := 0
 		for sl := 1; sl < slots; sl++ {
-			if loads[sl] < loads[bestAny] {
+			if maxDur(loads[sl], ready) < maxDur(loads[bestAny], ready) {
 				bestAny = sl
 			}
 		}
 		if len(t.locs) == 0 {
-			loads[bestAny] += t.cost
+			loads[bestAny] = maxDur(loads[bestAny], ready) + cost
 			st.LocalMaps++
-			continue
+			return loads[bestAny]
 		}
 		bestLocal := -1
 		for sl := 0; sl < slots; sl++ {
@@ -170,18 +213,41 @@ func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 					break
 				}
 			}
-			if local && (bestLocal < 0 || loads[sl] < loads[bestLocal]) {
+			if local && (bestLocal < 0 || maxDur(loads[sl], ready) < maxDur(loads[bestLocal], ready)) {
 				bestLocal = sl
 			}
 		}
-		// Prefer the local slot unless waiting for it costs more than the
-		// remote read.
-		if bestLocal >= 0 && loads[bestLocal] <= loads[bestAny]+t.penalty {
-			loads[bestLocal] += t.cost
+		if bestLocal >= 0 && maxDur(loads[bestLocal], ready) <= maxDur(loads[bestAny], ready)+t.penalty {
+			loads[bestLocal] = maxDur(loads[bestLocal], ready) + cost
 			st.LocalMaps++
-		} else {
-			loads[bestAny] += t.cost + t.penalty
-			st.RemoteMaps++
+			return loads[bestLocal]
+		}
+		loads[bestAny] = maxDur(loads[bestAny], ready) + cost + t.penalty
+		st.RemoteMaps++
+		return loads[bestAny]
+	}
+
+	// First attempts place exactly like plain LPT; retries dispatch at
+	// the moment the previous attempt failed.
+	type retry struct {
+		t     task
+		ready time.Duration
+		next  int // index into t.attempts
+	}
+	var retries []retry
+	for _, t := range tasks {
+		end := placeAttempt(t, t.attempts[0], 0)
+		if len(t.attempts) > 1 {
+			retries = append(retries, retry{t: t, ready: end, next: 1})
+		}
+	}
+	for len(retries) > 0 {
+		sort.SliceStable(retries, func(i, j int) bool { return retries[i].ready < retries[j].ready })
+		r := retries[0]
+		retries = retries[1:]
+		end := placeAttempt(r.t, r.t.attempts[r.next], r.ready)
+		if r.next+1 < len(r.t.attempts) {
+			retries = append(retries, retry{t: r.t, ready: end, next: r.next + 1})
 		}
 	}
 	for _, l := range loads {
@@ -192,36 +258,90 @@ func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 	return st
 }
 
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // LPT schedules the given task durations onto `slots` identical slots,
 // longest first, each task to the currently least-loaded slot, and
 // returns the makespan.
 func LPT(tasks []time.Duration, slots int) time.Duration {
+	chains := make([][]time.Duration, len(tasks))
+	for i, t := range tasks {
+		chains[i] = []time.Duration{t}
+	}
+	return LPTAttempts(chains, slots)
+}
+
+// LPTAttempts schedules attempt chains onto `slots` identical slots the
+// way a failure-blind scheduler does: every task's first attempt is
+// placed longest-first onto the then-least-loaded slot (exactly LPT —
+// the scheduler cannot know an attempt will fail), and each retry is
+// then dispatched at the moment its predecessor failed, onto the slot
+// that can start it earliest. Single-attempt chains make this identical
+// to LPT.
+func LPTAttempts(tasks [][]time.Duration, slots int) time.Duration {
 	if len(tasks) == 0 {
 		return 0
 	}
 	if slots < 1 {
 		slots = 1
 	}
-	sorted := append([]time.Duration(nil), tasks...)
-	// Insertion sort descending (task lists are short).
-	for i := 1; i < len(sorted); i++ {
-		v := sorted[i]
-		j := i - 1
-		for j >= 0 && sorted[j] < v {
-			sorted[j+1] = sorted[j]
-			j--
-		}
-		sorted[j+1] = v
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
 	}
+	first := func(chain []time.Duration) time.Duration {
+		if len(chain) == 0 {
+			return 0
+		}
+		return chain[0]
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return first(tasks[order[i]]) > first(tasks[order[j]])
+	})
+
 	loads := make([]time.Duration, slots)
-	for _, t := range sorted {
+	type retry struct {
+		ready time.Duration // when the previous attempt failed
+		rest  []time.Duration
+	}
+	var retries []retry
+	for _, i := range order {
+		chain := tasks[i]
+		if len(chain) == 0 {
+			continue
+		}
 		min := 0
 		for s := 1; s < slots; s++ {
 			if loads[s] < loads[min] {
 				min = s
 			}
 		}
-		loads[min] += t
+		loads[min] += chain[0]
+		if len(chain) > 1 {
+			retries = append(retries, retry{ready: loads[min], rest: chain[1:]})
+		}
+	}
+	// Dispatch retries in failure order; each takes the slot where it can
+	// start earliest (it cannot start before the failure was observed).
+	for len(retries) > 0 {
+		sort.SliceStable(retries, func(i, j int) bool { return retries[i].ready < retries[j].ready })
+		r := retries[0]
+		retries = retries[1:]
+		best := 0
+		for s := 1; s < slots; s++ {
+			if maxDur(loads[s], r.ready) < maxDur(loads[best], r.ready) {
+				best = s
+			}
+		}
+		loads[best] = maxDur(loads[best], r.ready) + r.rest[0]
+		if len(r.rest) > 1 {
+			retries = append(retries, retry{ready: loads[best], rest: r.rest[1:]})
+		}
 	}
 	var makespan time.Duration
 	for _, l := range loads {
@@ -250,15 +370,19 @@ func (s Spec) Makespan(jc JobCost) time.Duration {
 		broadcast = time.Duration(float64(jc.SideBytes) / s.NetBytesPerSec * float64(time.Second))
 	}
 
-	reduceTasks := make([]time.Duration, len(jc.ReduceCosts))
+	reduceTasks := make([][]time.Duration, len(jc.ReduceCosts))
 	for i, c := range jc.ReduceCosts {
 		fetch := time.Duration(0)
 		if i < len(jc.ShufflePerReduce) && s.NetBytesPerSec > 0 {
 			fetch = time.Duration(float64(jc.ShufflePerReduce[i]) / s.NetBytesPerSec * float64(time.Second))
 		}
-		reduceTasks[i] = c + fetch + s.TaskOverhead
+		// Every attempt — failed ones included — pays the shuffle fetch
+		// and task launch again, as a re-executed reducer does on Hadoop.
+		for _, a := range attemptChain(jc.ReduceAttempts, i, c) {
+			reduceTasks[i] = append(reduceTasks[i], a+fetch+s.TaskOverhead)
+		}
 	}
-	reduceSpan := LPT(reduceTasks, s.Nodes*s.ReduceSlotsPerNode)
+	reduceSpan := LPTAttempts(reduceTasks, s.Nodes*s.ReduceSlotsPerNode)
 
 	return s.JobOverhead + broadcast + mapSpan + reduceSpan
 }

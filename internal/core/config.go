@@ -196,6 +196,15 @@ type Config struct {
 	// speedup partly to combiners seeing less data per task as nodes
 	// grow, §6.1.1).
 	NoCombiner bool
+	// Retry configures per-task attempt retries in every job the
+	// pipeline runs (Hadoop's transparent task re-execution; see
+	// mapreduce.RetryPolicy). The zero value runs each task once.
+	Retry mapreduce.RetryPolicy
+	// FaultInjector, when non-nil, deterministically fails chosen task
+	// attempts in every job — used by tests and the failure-rate
+	// experiments; requires Retry.MaxAttempts > 1 for jobs to survive
+	// the injected failures.
+	FaultInjector mapreduce.FaultInjector
 }
 
 func (c *Config) fillDefaults() error {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"fuzzyjoin/internal/mapreduce"
+)
+
+// ---- fault-tolerance: injected failures must not change any output ----
+
+// ftRun runs a BTO-PK-BRJ self-join and captures every file in the DFS
+// (stage outputs included) plus each job's final counters.
+func ftRun(t *testing.T, lines []string, par int, inj mapreduce.FaultInjector) (map[string]string, []map[string]int64, *Result) {
+	t.Helper()
+	fs := newTestFS(t)
+	writeInput(t, fs, "in", lines)
+	cfg := Config{
+		FS: fs, Work: "w",
+		TokenOrder: BTO, Kernel: PK, RecordJoin: BRJ,
+		NumReducers: 3, Parallelism: par,
+	}
+	if inj != nil {
+		cfg.Retry = mapreduce.RetryPolicy{MaxAttempts: 3}
+		cfg.FaultInjector = inj
+	}
+	res, err := SelfJoin(cfg, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{}
+	for _, name := range fs.List("w") {
+		b, err := fs.ReadAll(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[name] = string(b)
+	}
+	var counters []map[string]int64
+	for _, m := range res.AllJobs() {
+		counters = append(counters, m.Counters)
+	}
+	return files, counters, res
+}
+
+func ftRetriedTasks(res *Result) int {
+	n := 0
+	for _, m := range res.AllJobs() {
+		for _, tasks := range [][]mapreduce.TaskMetrics{m.MapTasks, m.ReduceTasks} {
+			for _, task := range tasks {
+				if task.Attempts > 1 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestSelfJoinByteIdenticalUnderFaults: for the full BTO-PK-BRJ pipeline,
+// every part file of every stage and every job's counters must be
+// byte-identical across runs with no faults, a single injected task
+// failure, and multiple failures across phases — at Parallelism 1 and 8.
+func TestSelfJoinByteIdenticalUnderFaults(t *testing.T) {
+	lines := makeLines(7, 36, 1)
+	single := mapreduce.FailAttempts(
+		mapreduce.TaskRef{Phase: mapreduce.MapPhase, TaskID: 0, Attempt: 1},
+	)
+	multi := mapreduce.FailAttempts(
+		mapreduce.TaskRef{Phase: mapreduce.MapPhase, TaskID: 0, Attempt: 1},
+		mapreduce.TaskRef{Phase: mapreduce.ReducePhase, TaskID: 1, Attempt: 1},
+		mapreduce.TaskRef{Phase: mapreduce.ReducePhase, TaskID: 1, Attempt: 2},
+	)
+	for _, par := range []int{1, 8} {
+		files, counters, base := ftRun(t, lines, par, nil)
+		if ftRetriedTasks(base) != 0 {
+			t.Fatalf("par=%d: fault-free run reports retried tasks", par)
+		}
+		if base.Pairs == 0 {
+			t.Fatalf("par=%d: test premise broken, no joined pairs", par)
+		}
+		for _, sc := range []struct {
+			name string
+			inj  mapreduce.FaultInjector
+			min  int // retried tasks expected at least
+		}{
+			{"single-fault", single, 1},
+			{"multi-fault", multi, 2},
+		} {
+			gotFiles, gotCounters, res := ftRun(t, lines, par, sc.inj)
+			if !reflect.DeepEqual(files, gotFiles) {
+				for name, want := range files {
+					if gotFiles[name] != want {
+						t.Errorf("par=%d %s: file %s differs from fault-free run", par, sc.name, name)
+					}
+				}
+				for name := range gotFiles {
+					if _, ok := files[name]; !ok {
+						t.Errorf("par=%d %s: extra file %s", par, sc.name, name)
+					}
+				}
+				t.Fatalf("par=%d %s: output not byte-identical", par, sc.name)
+			}
+			if !reflect.DeepEqual(counters, gotCounters) {
+				t.Fatalf("par=%d %s: counters differ:\nclean:  %v\nfaulty: %v",
+					par, sc.name, counters, gotCounters)
+			}
+			if got := ftRetriedTasks(res); got < sc.min {
+				t.Fatalf("par=%d %s: %d retried task(s), want >= %d — the injector missed",
+					par, sc.name, got, sc.min)
+			}
+		}
+	}
+}

@@ -203,6 +203,8 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("carry-records kernel: %w", err)
@@ -224,6 +226,8 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dedup: %w", err)

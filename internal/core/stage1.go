@@ -100,6 +100,8 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	})
 	if err != nil {
 		return "", nil, err
@@ -119,6 +121,8 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	})
 	if err != nil {
 		return "", nil, err
@@ -197,6 +201,8 @@ func runOPTO(cfg *Config, input string, work string) (tokenFile string, ms []*ma
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	})
 	if err != nil {
 		return "", nil, err

@@ -381,6 +381,8 @@ func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapre
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	}
 	switch cfg.Kernel {
 	case PK:
@@ -425,6 +427,8 @@ func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, [
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	}
 	if cfg.Kernel == PK {
 		job.Reducer = &pkRSReducer{cfg: cfg}

@@ -415,6 +415,8 @@ func runStage2SelfBlocked(cfg *Config, input, tokenFile, work string) (string, [
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	}
 	if cfg.BlockMode == MapBlocks {
 		job.Reducer = &mapBlockedSelfReducer{cfg: cfg}

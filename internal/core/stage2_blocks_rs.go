@@ -283,6 +283,8 @@ func runStage2RSBlocked(cfg *Config, inputR, inputS, tokenFile, work string) (st
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	}
 	if cfg.BlockMode == MapBlocks {
 		job.Reducer = &mapBlockedRSReducer{cfg: cfg}

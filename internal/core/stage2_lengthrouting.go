@@ -173,6 +173,8 @@ func runStage2SelfLengthRouted(cfg *Config, input, tokenFile, work string) (stri
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	}
 	m, err := mapreduce.Run(job)
 	if err != nil {
@@ -319,6 +321,8 @@ func runStage2RSLengthRouted(cfg *Config, inputR, inputS, tokenFile, work string
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	}
 	m, err := mapreduce.Run(job)
 	if err != nil {

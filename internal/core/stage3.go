@@ -217,6 +217,8 @@ func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	})
 	if err != nil {
 		return "", nil, err
@@ -236,6 +238,8 @@ func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	})
 	if err != nil {
 		return "", nil, err
@@ -348,6 +352,8 @@ func runOPRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs boo
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
 		SpillPairs:      cfg.SpillPairs,
+		Retry:           cfg.Retry,
+		FaultInjector:   cfg.FaultInjector,
 	})
 	if err != nil {
 		return "", nil, err

@@ -242,6 +242,26 @@ func (fs *FS) List(prefix string) []string {
 	return out
 }
 
+// Rename moves a file to a new name, keeping its blocks and their
+// replica locations. It is the commit step of a task attempt: output is
+// written under a temporary attempt name and renamed into place only
+// once the attempt succeeds. Renaming a missing file or onto an
+// existing name is an error.
+func (fs *FS) Rename(oldName, newName string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldName)
+	}
+	if _, ok := fs.files[newName]; ok {
+		return fmt.Errorf("%w: %s", ErrExist, newName)
+	}
+	fs.files[newName] = f
+	delete(fs.files, oldName)
+	return nil
+}
+
 // Remove deletes a file. Removing a missing file is an error.
 func (fs *FS) Remove(name string) error {
 	fs.mu.Lock()

@@ -1,0 +1,46 @@
+package dfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRename(t *testing.T) {
+	fs := New(Options{BlockSize: 8, Nodes: 3})
+	w, err := fs.Create("tmp/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append([]byte("hello world, spanning blocks\n"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fs.Rename("tmp/a", "out/a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("tmp/a") {
+		t.Fatal("old name still exists after rename")
+	}
+	data, err := fs.ReadAll("out/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world, spanning blocks\n" {
+		t.Fatalf("content changed across rename: %q", data)
+	}
+
+	if err := fs.Rename("missing", "x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("rename of missing file: %v, want ErrNotExist", err)
+	}
+	w2, err := fs.Create("out/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("out/b", "out/a"); !errors.Is(err, ErrExist) {
+		t.Fatalf("rename over existing file: %v, want ErrExist", err)
+	}
+}

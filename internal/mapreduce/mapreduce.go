@@ -207,6 +207,15 @@ type Job struct {
 	// decompress on fetch. PartitionBytes then reports compressed (wire)
 	// sizes.
 	CompressShuffle bool
+	// Retry configures per-task attempt retries (Hadoop's
+	// mapred.{map,reduce}.max.attempts analogue). The zero value runs
+	// each task exactly once.
+	Retry RetryPolicy
+	// FaultInjector, when non-nil, is consulted once per otherwise-
+	// successful task attempt and can force it to fail — deterministic
+	// fault injection for tests and failure experiments. Injected
+	// failures exercise the same rollback path as genuine task errors.
+	FaultInjector FaultInjector
 }
 
 // spillEmitter triggers a spill when the buffered pair count reaches the
@@ -274,6 +283,9 @@ type Context struct {
 	JobName string
 	// TaskID is the map or reduce task index.
 	TaskID int
+	// Attempt is the 1-based attempt number of this task execution;
+	// it is greater than 1 when earlier attempts failed and were retried.
+	Attempt int
 	// NumReducers is the job's reducer count.
 	NumReducers int
 	// InputFile is the file the current map record came from (empty in
@@ -323,6 +335,23 @@ func (c *Counters) Get(name string) int64 {
 	return c.m[name]
 }
 
+// merge folds another counter set into this one. The engine buffers each
+// task attempt's counts in a private Counters and merges them into the
+// job totals only when the attempt commits, so failed or abandoned
+// attempts never pollute final counter values.
+func (c *Counters) merge(from *Counters) {
+	from.mu.Lock()
+	defer from.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64, len(from.m))
+	}
+	for k, v := range from.m {
+		c.m[k] += v
+	}
+}
+
 // Snapshot copies all counters.
 func (c *Counters) Snapshot() map[string]int64 {
 	c.mu.Lock()
@@ -356,6 +385,12 @@ type TaskMetrics struct {
 	// whole output fit in memory).
 	SpillCount int
 	SpillBytes int64
+	// Attempts is how many attempts this task ran (1 = no retries).
+	Attempts int
+	// AttemptCosts is every attempt's measured cost in order; the last
+	// entry is the committed attempt's cost (== Cost). The cluster
+	// simulator charges the failed attempts into the makespan.
+	AttemptCosts []time.Duration
 }
 
 // Metrics describes one job execution.

@@ -44,6 +44,11 @@ func (m *Metrics) Report() string {
 	if mapAgg.spills > 0 {
 		fmt.Fprintf(&b, "  map spills: %d (%s to local disk)\n", mapAgg.spills, bytesH(mapAgg.spillBytes))
 	}
+	if retried := mapAgg.retried + redAgg.retried; retried > 0 {
+		fmt.Fprintf(&b, "  task retries: %d task(s) re-executed, %d failed attempt(s), %v wasted\n",
+			retried, mapAgg.extraAttempts+redAgg.extraAttempts,
+			(mapAgg.wasted + redAgg.wasted).Round(time.Microsecond))
+	}
 	if len(m.Counters) > 0 {
 		names := make([]string, 0, len(m.Counters))
 		for n := range m.Counters {
@@ -63,6 +68,8 @@ type taskAgg struct {
 	cost, maxCost                      time.Duration
 	spills                             int
 	spillBytes                         int64
+	retried, extraAttempts             int
+	wasted                             time.Duration
 }
 
 func aggregate(tasks []TaskMetrics) taskAgg {
@@ -78,6 +85,13 @@ func aggregate(tasks []TaskMetrics) taskAgg {
 		}
 		a.spills += t.SpillCount
 		a.spillBytes += t.SpillBytes
+		if t.Attempts > 1 {
+			a.retried++
+			a.extraAttempts += t.Attempts - 1
+			for _, c := range t.AttemptCosts[:len(t.AttemptCosts)-1] {
+				a.wasted += c
+			}
+		}
 	}
 	return a
 }

@@ -1,9 +1,11 @@
 package mapreduce
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,6 +15,12 @@ import (
 // Run executes the job to completion and returns its metrics. Output part
 // files are written to job.Output + "/part-r-%05d", one per reducer.
 // On error no partial output is left behind.
+//
+// Each task runs as a sequence of numbered attempts under job.Retry; a
+// failed attempt leaves no trace (its counters are buffered per attempt
+// and its part file is written under an attempt-suffixed temporary name,
+// renamed into place only on commit) so retried and fault-free runs
+// produce byte-identical output.
 func Run(job Job) (*Metrics, error) {
 	if err := job.fillDefaults(); err != nil {
 		return nil, err
@@ -38,6 +46,10 @@ func Run(job Job) (*Metrics, error) {
 
 	counters := &Counters{}
 	metrics := &Metrics{Job: job.Name, SideBytes: sideBytes}
+	// Track every file this job creates so failure cleanup removes
+	// exactly those — never unrelated files that happen to share the
+	// output prefix (e.g. a prior stage's output in the same directory).
+	track := &outputTracker{}
 
 	// Collect garbage left by previous jobs before measuring task costs:
 	// a collection triggered mid-task would otherwise charge one job's
@@ -49,34 +61,140 @@ func Run(job Job) (*Metrics, error) {
 	segments := make([][][]byte, len(splits)) // [mapTask][partition] encoded segment
 	metrics.MapTasks = make([]TaskMetrics, len(splits))
 	if err := runParallel(len(splits), job.Parallelism, func(i int) error {
-		seg, tm, err := runMapTask(&job, i, splits[i], side, counters)
+		res, tm, err := runTaskAttempts(&job, MapPhase, i, func(attempt int) (mapResult, TaskMetrics, error) {
+			return runMapTask(&job, i, attempt, splits[i], side)
+		}, nil)
 		if err != nil {
 			return err
 		}
-		segments[i] = seg
+		counters.merge(res.counters)
+		segments[i] = res.parts
 		metrics.MapTasks[i] = tm
 		return nil
 	}); err != nil {
-		job.FS.RemovePrefix(job.Output + "/")
+		track.removeAll(job.FS)
 		return nil, fmt.Errorf("job %s: %w", job.Name, err)
 	}
 
 	// ---- Reduce phase (shuffle + sort + reduce) ----
 	metrics.ReduceTasks = make([]TaskMetrics, job.NumReducers)
 	if err := runParallel(job.NumReducers, job.Parallelism, func(r int) error {
-		tm, err := runReduceTask(&job, r, segments, side, counters)
+		res, tm, err := runTaskAttempts(&job, ReducePhase, r, func(attempt int) (reduceResult, TaskMetrics, error) {
+			return runReduceTask(&job, r, attempt, segments, side, track)
+		}, func(attempt int) {
+			// Discard the failed attempt's partial part file (if the
+			// attempt got far enough to create it) before retrying.
+			track.remove(job.FS, tempPartName(job.Output, r, attempt))
+		})
 		if err != nil {
 			return err
 		}
+		// Commit: rename the attempt's temp file to the final part name
+		// and fold its counters into the job totals.
+		final := partName(job.Output, r)
+		if err := job.FS.Rename(res.temp, final); err != nil {
+			return fmt.Errorf("reduce task %d: commit: %w", r, err)
+		}
+		track.rename(res.temp, final)
+		counters.merge(res.counters)
 		metrics.ReduceTasks[r] = tm
 		return nil
 	}); err != nil {
-		job.FS.RemovePrefix(job.Output + "/")
+		track.removeAll(job.FS)
 		return nil, fmt.Errorf("job %s: %w", job.Name, err)
 	}
 
+	// Sweep temp files left by abandoned (timed-out) attempts: their
+	// zombie goroutines may have created files after the attempt was
+	// already declared failed.
+	track.removeTemps(job.FS, job.Output)
+
 	metrics.Counters = counters.Snapshot()
 	return metrics, nil
+}
+
+// partName is the committed output file of reduce task r.
+func partName(output string, r int) string {
+	return fmt.Sprintf("%s/part-r-%05d", output, r)
+}
+
+// tempPartName is the attempt-suffixed temporary name a reduce attempt
+// writes to before committing (Hadoop's _temporary attempt directories).
+func tempPartName(output string, r, attempt int) string {
+	return fmt.Sprintf("%s/_temporary-part-r-%05d-%d", output, r, attempt)
+}
+
+// outputTracker records the files a job created, so cleanup touches only
+// this job's output.
+type outputTracker struct {
+	mu    sync.Mutex
+	files map[string]bool
+}
+
+func (t *outputTracker) add(name string) {
+	t.mu.Lock()
+	if t.files == nil {
+		t.files = make(map[string]bool)
+	}
+	t.files[name] = true
+	t.mu.Unlock()
+}
+
+func (t *outputTracker) rename(oldName, newName string) {
+	t.mu.Lock()
+	delete(t.files, oldName)
+	if t.files == nil {
+		t.files = make(map[string]bool)
+	}
+	t.files[newName] = true
+	t.mu.Unlock()
+}
+
+// remove deletes one tracked file if it exists (a failed attempt may not
+// have gotten far enough to create it).
+func (t *outputTracker) remove(fs *dfs.FS, name string) {
+	t.mu.Lock()
+	delete(t.files, name)
+	t.mu.Unlock()
+	if fs.Exists(name) {
+		fs.Remove(name)
+	}
+}
+
+// removeAll deletes every file the job created (failure cleanup).
+func (t *outputTracker) removeAll(fs *dfs.FS) {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.files))
+	for n := range t.files {
+		names = append(names, n)
+	}
+	t.files = nil
+	t.mu.Unlock()
+	for _, n := range names {
+		if fs.Exists(n) {
+			fs.Remove(n)
+		}
+	}
+}
+
+// removeTemps deletes tracked files still under temporary names (left by
+// abandoned attempts), keeping committed part files.
+func (t *outputTracker) removeTemps(fs *dfs.FS, output string) {
+	t.mu.Lock()
+	var names []string
+	prefix := output + "/_temporary-"
+	for n := range t.files {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+			delete(t.files, n)
+		}
+	}
+	t.mu.Unlock()
+	for _, n := range names {
+		if fs.Exists(n) {
+			fs.Remove(n)
+		}
+	}
 }
 
 func loadSideFiles(fs *dfs.FS, names []string) (map[string][]byte, int64, error) {
@@ -177,10 +295,20 @@ func (e *bufEmitter) Emit(key, value []byte) error {
 	return nil
 }
 
-func runMapTask(job *Job, taskID int, split dfs.Split, side map[string][]byte, counters *Counters) ([][]byte, TaskMetrics, error) {
+// mapResult is one committed map attempt's output: the per-reducer
+// segments plus the attempt's private counter buffer (merged into the
+// job counters only on commit, so failed attempts leave no counts).
+type mapResult struct {
+	parts    [][]byte
+	counters *Counters
+}
+
+func runMapTask(job *Job, taskID, attempt int, split dfs.Split, side map[string][]byte) (mapResult, TaskMetrics, error) {
+	counters := &Counters{}
 	ctx := &Context{
 		JobName:     job.Name,
 		TaskID:      taskID,
+		Attempt:     attempt,
 		NumReducers: job.NumReducers,
 		InputFile:   split.File,
 		Conf:        job.Conf,
@@ -227,7 +355,7 @@ func runMapTask(job *Job, taskID int, split dfs.Split, side map[string][]byte, c
 	mapper := taskMapper(job.Mapper)
 	if s, ok := mapper.(Setupper); ok {
 		if err := s.Setup(ctx); err != nil {
-			return nil, tm, fmt.Errorf("map task %d setup: %w", taskID, err)
+			return mapResult{}, tm, fmt.Errorf("map task %d setup: %w", taskID, err)
 		}
 	}
 	err := readSplit(job.FS, job.formatFor(split.File), split, func(key, value []byte) error {
@@ -236,11 +364,11 @@ func runMapTask(job *Job, taskID int, split dfs.Split, side map[string][]byte, c
 		return mapper.Map(ctx, key, value, sink)
 	})
 	if err != nil {
-		return nil, tm, fmt.Errorf("map task %d: %w", taskID, err)
+		return mapResult{}, tm, fmt.Errorf("map task %d: %w", taskID, err)
 	}
 	if c, ok := mapper.(Cleanupper); ok {
 		if err := c.Cleanup(ctx, sink); err != nil {
-			return nil, tm, fmt.Errorf("map task %d cleanup: %w", taskID, err)
+			return mapResult{}, tm, fmt.Errorf("map task %d cleanup: %w", taskID, err)
 		}
 	}
 
@@ -248,12 +376,12 @@ func runMapTask(job *Job, taskID int, split dfs.Split, side map[string][]byte, c
 	// per-reducer segments.
 	parts, err := finalizeMapOutput(job, ctx, em, spills, &tm)
 	if err != nil {
-		return nil, tm, fmt.Errorf("map task %d: %w", taskID, err)
+		return mapResult{}, tm, fmt.Errorf("map task %d: %w", taskID, err)
 	}
 	tm.Cost = time.Since(start)
 	tm.PeakMemory = ctx.Memory.Peak()
 	tm.Locations = append([]int(nil), split.Locations...)
-	return parts, tm, nil
+	return mapResult{parts: parts, counters: counters}, tm, nil
 }
 
 // buildRuns partitions, sorts, and combines one buffered run.
@@ -351,23 +479,9 @@ func comparePairTie(a, b Pair) int {
 	return compareBytes(a.Value, b.Value)
 }
 
-func compareBytes(a, b []byte) int {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			if a[i] < b[i] {
-				return -1
-			}
-			return 1
-		}
-	}
-	switch {
-	case len(a) < len(b):
-		return -1
-	case len(a) > len(b):
-		return 1
-	}
-	return 0
-}
+// compareBytes delegates to the SIMD-backed bytes.Compare (this sits on
+// the hot path of every sort/merge comparison).
+func compareBytes(a, b []byte) int { return bytes.Compare(a, b) }
 
 // combine runs the combiner over each key group of the sorted run and
 // returns the re-sorted result.
@@ -392,10 +506,20 @@ func combine(ctx *Context, job *Job, pairs []Pair) ([]Pair, error) {
 	return out.pairs, nil
 }
 
-func runReduceTask(job *Job, r int, segments [][][]byte, side map[string][]byte, counters *Counters) (TaskMetrics, error) {
+// reduceResult is one committed reduce attempt's output: the temporary
+// part-file name awaiting rename plus the attempt's private counter
+// buffer.
+type reduceResult struct {
+	temp     string
+	counters *Counters
+}
+
+func runReduceTask(job *Job, r, attempt int, segments [][][]byte, side map[string][]byte, track *outputTracker) (reduceResult, TaskMetrics, error) {
+	counters := &Counters{}
 	ctx := &Context{
 		JobName:     job.Name,
 		TaskID:      r,
+		Attempt:     attempt,
 		NumReducers: job.NumReducers,
 		Conf:        job.Conf,
 		Memory:      &Memory{limit: job.MemoryLimit},
@@ -404,6 +528,7 @@ func runReduceTask(job *Job, r int, segments [][][]byte, side map[string][]byte,
 		counters:    counters,
 	}
 	var tm TaskMetrics
+	res := reduceResult{counters: counters}
 	start := time.Now()
 
 	// Shuffle: fetch this reducer's encoded segment from every map task,
@@ -418,12 +543,12 @@ func runReduceTask(job *Job, r int, segments [][][]byte, side map[string][]byte,
 		if job.CompressShuffle {
 			var err error
 			if data, err = decompressSegment(data); err != nil {
-				return tm, fmt.Errorf("reduce task %d: %w", r, err)
+				return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
 			}
 		}
 		run, err := decodeRun(data)
 		if err != nil {
-			return tm, fmt.Errorf("reduce task %d: %w", r, err)
+			return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
 		}
 		if len(run) > 0 {
 			runs = append(runs, run)
@@ -432,17 +557,20 @@ func runReduceTask(job *Job, r int, segments [][][]byte, side map[string][]byte,
 	pairs := mergeRuns(runs, job.SortComparator)
 	tm.InputRecords = int64(len(pairs))
 
-	name := fmt.Sprintf("%s/part-r-%05d", job.Output, r)
-	fw, err := newFileWriter(job.FS, name, job.OutputFormat)
+	// Write under an attempt-suffixed temporary name; Run renames it to
+	// the final part name only when the attempt commits.
+	res.temp = tempPartName(job.Output, r, attempt)
+	track.add(res.temp)
+	fw, err := newFileWriter(job.FS, res.temp, job.OutputFormat)
 	if err != nil {
-		return tm, err
+		return res, tm, err
 	}
 	out := &writerEmitter{fw: fw}
 
 	reducer := taskReducer(job.Reducer)
 	if s, ok := reducer.(Setupper); ok {
 		if err := s.Setup(ctx); err != nil {
-			return tm, fmt.Errorf("reduce task %d setup: %w", r, err)
+			return res, tm, fmt.Errorf("reduce task %d setup: %w", r, err)
 		}
 	}
 	i := 0
@@ -453,23 +581,23 @@ func runReduceTask(job *Job, r int, segments [][][]byte, side map[string][]byte,
 		}
 		vals := &Values{pairs: pairs[i:j]}
 		if err := reducer.Reduce(ctx, pairs[i].Key, vals, out); err != nil {
-			return tm, fmt.Errorf("reduce task %d: %w", r, err)
+			return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
 		}
 		i = j
 	}
 	if c, ok := reducer.(Cleanupper); ok {
 		if err := c.Cleanup(ctx, out); err != nil {
-			return tm, fmt.Errorf("reduce task %d cleanup: %w", r, err)
+			return res, tm, fmt.Errorf("reduce task %d cleanup: %w", r, err)
 		}
 	}
 	if err := fw.close(); err != nil {
-		return tm, err
+		return res, tm, err
 	}
 	tm.OutputRecords = fw.recs
 	tm.OutputBytes = fw.bytes
 	tm.Cost = time.Since(start)
 	tm.PeakMemory = ctx.Memory.Peak()
-	return tm, nil
+	return res, tm, nil
 }
 
 // writerEmitter streams reducer output straight to the part file.
