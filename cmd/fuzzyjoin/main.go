@@ -46,6 +46,11 @@ func main() {
 		taskTimeout = flag.Duration("task-timeout", 0, "per-attempt wall-clock limit (0 = none)")
 		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic failures into this fraction of task attempts (needs -max-attempts > 1)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed selecting which tasks the injected failures hit")
+
+		nodes       = flag.Int("nodes", 1, "virtual DFS nodes the input blocks spread over")
+		replication = flag.Int("replication", 1, "block replicas stored on distinct nodes (>= 2 survives a node death)")
+		nodeFail    = flag.Int("node-fail", -1, "kill this DFS node after the first job's map phase (-1 = none)")
+		speculative = flag.Bool("speculative", false, "race a backup attempt against every reduce task, committing the first to finish")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -69,7 +74,21 @@ func main() {
 		cfg.FaultInjector = fuzzyjoin.RateInjector{Rate: *faultRate, Seed: *faultSeed}
 	}
 
-	fs := fuzzyjoin.NewFS(1)
+	if *nodes < 1 {
+		fatal(fmt.Errorf("-nodes %d: need at least one node", *nodes))
+	}
+	fs := fuzzyjoin.NewReplicatedFS(*nodes, *replication)
+	if *nodeFail >= 0 {
+		if *nodeFail >= *nodes {
+			fatal(fmt.Errorf("-node-fail %d: cluster has nodes 0..%d", *nodeFail, *nodes-1))
+		}
+		// The node dies after the first job's map wave — the moment its
+		// committed map outputs (and block replicas) matter most — and
+		// stays dead for the rest of the pipeline. With -replication 1
+		// the join fails cleanly; with >= 2 it degrades gracefully.
+		cfg.NodeFailures = []fuzzyjoin.NodeFailure{{Barrier: fuzzyjoin.AfterMap, Node: *nodeFail}}
+	}
+	cfg.Speculative = *speculative
 	cfg.FS, cfg.Work = fs, "job"
 	if err := loadFile(fs, "R", *in); err != nil {
 		fatal(err)
@@ -175,7 +194,9 @@ func loadFile(fs *fuzzyjoin.FS, name, path string) error {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		w.Append(append([]byte(line), '\n'))
+		if err := w.Append(append([]byte(line), '\n')); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return err

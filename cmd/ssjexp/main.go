@@ -9,7 +9,8 @@
 //
 // -only selects a comma-separated subset of experiment names (fig8, fig9,
 // table1, fig11, table2, fig12, fig13, fig14, groups, skew, blocks,
-// filters, kernels, routing, combiner, singlestage, engine, tau, faults).
+// filters, kernels, routing, combiner, singlestage, engine, tau, faults,
+// nodefaults).
 package main
 
 import (
@@ -128,4 +129,5 @@ func main() {
 	run("engine", func() (renderer, error) { return s.EngineAblation() })
 	run("tau", func() (renderer, error) { return s.ThresholdSweep() })
 	run("faults", func() (renderer, error) { return s.FaultAblation() })
+	run("nodefaults", func() (renderer, error) { return s.NodeFaultAblation() })
 }

@@ -100,6 +100,11 @@ type (
 	TaskRef = mapreduce.TaskRef
 	// RateInjector fails a deterministic pseudo-random fraction of tasks.
 	RateInjector = mapreduce.RateInjector
+	// NodeFailure schedules a DFS node death (or recovery) at a job
+	// barrier; see Config.NodeFailures.
+	NodeFailure = mapreduce.NodeFailure
+	// Barrier is the point in a job a NodeFailure fires at.
+	Barrier = mapreduce.Barrier
 )
 
 // FailAttempts returns an injector failing exactly the listed attempts.
@@ -111,6 +116,17 @@ const (
 	ReducePhase = mapreduce.ReducePhase
 )
 
+// Node-failure barriers for NodeFailure.Barrier.
+const (
+	BeforeMap = mapreduce.BeforeMap
+	AfterMap  = mapreduce.AfterMap
+)
+
+// ErrBlockUnavailable is the DFS error surfaced (wrapped) when every
+// replica of a needed block is dead or corrupt — at replication 1 a
+// single node death makes the affected job fail cleanly with this.
+var ErrBlockUnavailable = dfs.ErrBlockUnavailable
+
 // Record field indices for the bibliographic record layout.
 const (
 	FieldTitle   = records.FieldTitle
@@ -119,9 +135,17 @@ const (
 )
 
 // NewFS creates a distributed file system spread over the given number of
-// virtual nodes.
+// virtual nodes, storing one replica per block.
 func NewFS(nodes int) *FS {
 	return dfs.New(dfs.Options{Nodes: nodes})
+}
+
+// NewReplicatedFS creates a distributed file system storing `replication`
+// copies of every block on distinct nodes (HDFS-style), with automatic
+// re-replication after a node failure. Replication ≥ 2 lets joins survive
+// a node death mid-pipeline; see Config.NodeFailures.
+func NewReplicatedFS(nodes, replication int) *FS {
+	return dfs.New(dfs.Options{Nodes: nodes, Replication: replication, AutoReReplicate: true})
 }
 
 // WriteRecords stores records as a Text-format DFS file joins can read.

@@ -1,0 +1,518 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// This file extends the cluster model with node-level failures, the
+// dimension the paper's Hadoop deployment gets for free and a
+// single-host simulation must model explicitly: a node that dies at
+// simulated time t takes down (a) the task attempts running on it,
+// (b) the input-block replicas it holds, and (c) the map outputs stored
+// on its local disk. The simulator reproduces Hadoop's responses —
+// failure detection after a heartbeat timeout, re-execution of killed
+// attempts, recomputation of completed maps whose outputs became
+// unfetchable, replica reads for surviving input blocks — plus
+// speculative execution, which launches a backup attempt for a task
+// whose progress lags the wave and commits whichever attempt finishes
+// first.
+//
+// Model simplifications (each keeps the first-order effect the paper's
+// fault-tolerance argument needs and drops second-order contention):
+//
+//   - The scheduler is failure-blind: placement never anticipates a
+//     future death, and learns of one only DetectTimeout after it.
+//   - Reducers fetch all map output at attempt start; a failure only
+//     stalls reducers that have not started yet.
+//   - Recomputation of lost map outputs runs on the surviving map
+//     slots as a separate LPT wave, ignoring overlap with still-running
+//     map tasks.
+//   - A full-job restart reloads the input onto surviving nodes, so
+//     restarted map tasks run unconstrained (data-local after reload).
+
+// forever stands in for "never happens" in failure-time arithmetic.
+const forever = time.Duration(math.MaxInt64)
+
+// NodeFailureEvent kills one node at an absolute simulated time. At <=
+// the job (or flow) start means the node is dead from the beginning.
+type NodeFailureEvent struct {
+	Node int
+	At   time.Duration
+}
+
+// FailureModel configures a failure-aware simulation.
+type FailureModel struct {
+	// Failures lists node deaths, in absolute simulated time.
+	Failures []NodeFailureEvent
+	// Replication caps how many of each map task's recorded input
+	// replica locations the simulation uses — "what if this data had
+	// been stored with replication r". 0 uses all recorded locations.
+	Replication int
+	// Speculative enables backup attempts for lagging tasks.
+	Speculative bool
+	// SpeculativeSlack is the lag threshold: a backup launches once an
+	// attempt has run Slack × the median task cost without finishing.
+	// Values <= 0 mean 1.5.
+	SpeculativeSlack float64
+	// DetectTimeout is how long after a node dies the scheduler notices
+	// (Hadoop's heartbeat timeout, scaled down with the workloads).
+	// Values <= 0 mean 50ms — deliberately large against task costs, so
+	// speculation has a stall to beat.
+	DetectTimeout time.Duration
+}
+
+func (fm FailureModel) slack() float64 {
+	if fm.SpeculativeSlack > 0 {
+		return fm.SpeculativeSlack
+	}
+	return 1.5
+}
+
+func (fm FailureModel) detect() time.Duration {
+	if fm.DetectTimeout > 0 {
+		return fm.DetectTimeout
+	}
+	return 50 * time.Millisecond
+}
+
+// SimResult reports a failure-aware simulation.
+type SimResult struct {
+	// Makespan is the simulated completion time (absolute: a flow's
+	// later jobs include everything before them).
+	Makespan time.Duration
+	// Restarts counts full-job restarts forced by unrecoverable input
+	// loss (a dead node held the only replica of a needed block).
+	Restarts int
+	// RecomputedMaps counts completed map tasks re-executed because the
+	// node holding their output died.
+	RecomputedMaps int
+	// KilledAttempts counts attempts cut down mid-run by a node death.
+	KilledAttempts int
+	// SpeculativeLaunched and SpeculativeWins count backup attempts and
+	// how many of them committed (their original never finished).
+	SpeculativeLaunched int
+	SpeculativeWins     int
+	// WastedWork is slot time consumed by killed attempts and by backup
+	// attempts that lost the race.
+	WastedWork time.Duration
+	// MaxCommits is the largest number of commits any single task saw;
+	// 1 proves the single-winner invariant under speculation.
+	MaxCommits int
+}
+
+func (r *SimResult) absorb(w waveOut) {
+	r.KilledAttempts += w.killed
+	r.SpeculativeLaunched += w.spLaunched
+	r.SpeculativeWins += w.spWins
+	r.WastedWork += w.wasted
+	for _, c := range w.commits {
+		if c > r.MaxCommits {
+			r.MaxCommits = c
+		}
+	}
+}
+
+// simTask is one schedulable task inside a wave.
+type simTask struct {
+	cost    time.Duration
+	locs    []int         // live input replica holders (empty = unconstrained)
+	penalty time.Duration // remote-read cost when run off-replica
+}
+
+// barrier blocks attempts from starting inside [from, until) — the
+// window in which lost map outputs are being recomputed.
+type barrier struct{ from, until time.Duration }
+
+// waveOut is one wave's outcome.
+type waveOut struct {
+	end        time.Duration   // absolute completion time of the wave
+	commitEnd  []time.Duration // per task, when it committed
+	commitNode []int           // per task, the node it committed on
+	commits    []int           // per task, times committed (0 if lost)
+	killed     int
+	spLaunched int
+	spWins     int
+	wasted     time.Duration
+	lost       bool          // some task's input had no live replica
+	lostAt     time.Duration // when that was detected
+}
+
+// simWave schedules one wave of tasks onto the cluster's slots under
+// node failures: LPT dispatch with locality preference, kills for
+// attempts caught by a death, retry after detection (or earlier via a
+// speculative backup), and input-replica checks at attempt start.
+func (s Spec) simWave(tasks []simTask, slotsPerNode int, deadAt []time.Duration,
+	fm FailureModel, start time.Duration, barriers []barrier) waveOut {
+
+	out := waveOut{
+		end:        start,
+		commitEnd:  make([]time.Duration, len(tasks)),
+		commitNode: make([]int, len(tasks)),
+		commits:    make([]int, len(tasks)),
+	}
+	for i := range out.commitNode {
+		out.commitNode[i] = -1
+	}
+	if len(tasks) == 0 {
+		return out
+	}
+	if slotsPerNode < 1 {
+		slotsPerNode = 1
+	}
+	slots := s.Nodes * slotsPerNode
+	slotFree := make([]time.Duration, slots)
+	for i := range slotFree {
+		slotFree[i] = start
+	}
+	nodeOf := func(sl int) int { return sl / slotsPerNode }
+
+	// Median cost drives the speculation lag threshold.
+	sorted := make([]time.Duration, len(tasks))
+	for i, t := range tasks {
+		sorted[i] = t.cost
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slackLag := time.Duration(fm.slack() * float64(sorted[len(sorted)/2]))
+
+	afterBarriers := func(st time.Duration) time.Duration {
+		for _, b := range barriers {
+			if st >= b.from && st < b.until {
+				st = b.until
+			}
+		}
+		return st
+	}
+
+	// placeAttempt runs one attempt of task id no earlier than ready and
+	// returns (end, killedAt) — killedAt < forever when a node death cut
+	// the attempt down.
+	placeAttempt := func(id int, ready time.Duration) (time.Duration, time.Duration, bool) {
+		t := tasks[id]
+		startOn := func(sl int) time.Duration {
+			return afterBarriers(maxDur(slotFree[sl], ready))
+		}
+		usable := func(sl int) bool { return startOn(sl) < deadAt[nodeOf(sl)] }
+		bestAny, bestLocal := -1, -1
+		for sl := 0; sl < slots; sl++ {
+			if !usable(sl) {
+				continue
+			}
+			if bestAny < 0 || startOn(sl) < startOn(bestAny) {
+				bestAny = sl
+			}
+			for _, n := range t.locs {
+				if nodeOf(sl) == n%s.Nodes && deadAt[n%s.Nodes] > startOn(sl) {
+					if bestLocal < 0 || startOn(sl) < startOn(bestLocal) {
+						bestLocal = sl
+					}
+					break
+				}
+			}
+		}
+		if bestAny < 0 {
+			// Every node is dead: nothing can ever run.
+			out.lost, out.lostAt = true, ready
+			return 0, 0, false
+		}
+		sl, cost := bestAny, t.cost
+		if len(t.locs) > 0 {
+			if bestLocal >= 0 && startOn(bestLocal) <= startOn(bestAny)+t.penalty {
+				sl = bestLocal
+			} else {
+				// Off-replica: the input must still be readable somewhere.
+				alive := false
+				for _, n := range t.locs {
+					if deadAt[n%s.Nodes] > startOn(sl) {
+						alive = true
+						break
+					}
+				}
+				if !alive {
+					out.lost, out.lostAt = true, startOn(sl)+fm.detect()
+					return 0, 0, false
+				}
+				cost += t.penalty
+			}
+		}
+		st := startOn(sl)
+		end := st + cost
+		node := nodeOf(sl)
+		if d := deadAt[node]; d < end {
+			// The node dies mid-attempt.
+			slotFree[sl] = d
+			out.killed++
+			out.wasted += d - st
+			return d, d, true
+		}
+		slotFree[sl] = end
+		out.commits[id]++
+		out.commitEnd[id] = end
+		out.commitNode[id] = node
+		if fm.Speculative && t.cost > slackLag {
+			// A backup launched for this laggard at st+slackLag and was
+			// killed when the original committed first: pure waste.
+			out.spLaunched++
+			out.wasted += end - (st + slackLag)
+		}
+		return end, forever, true
+	}
+
+	// First attempts dispatch in LPT order (the scheduler cannot know an
+	// attempt is doomed); retries dispatch in failure-detection order.
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return tasks[order[i]].cost > tasks[order[j]].cost })
+
+	type retry struct {
+		id    int
+		ready time.Duration
+	}
+	var retries []retry
+	// enqueueRetry schedules the re-execution of a killed attempt. The
+	// attempt visibly stalls from the moment its node dies, so that is
+	// when both detectors start their clocks: the heartbeat timeout
+	// notices after DetectTimeout, the speculation lag detector after
+	// slackLag — whichever fires first launches the next attempt. When
+	// speculation wins the race the next attempt IS the backup (the dead
+	// original can never finish, so the backup always commits).
+	enqueueRetry := func(id int, killedAt time.Duration) {
+		ready := killedAt + fm.detect()
+		if fm.Speculative {
+			if specAt := killedAt + slackLag; specAt < ready {
+				ready = specAt
+				out.spLaunched++
+				out.spWins++
+			}
+		}
+		retries = append(retries, retry{id: id, ready: ready})
+	}
+
+	for _, id := range order {
+		_, killedAt, ok := placeAttempt(id, start)
+		if !ok {
+			return out
+		}
+		if killedAt < forever {
+			enqueueRetry(id, killedAt)
+		}
+	}
+	for len(retries) > 0 {
+		sort.SliceStable(retries, func(i, j int) bool {
+			if retries[i].ready != retries[j].ready {
+				return retries[i].ready < retries[j].ready
+			}
+			return retries[i].id < retries[j].id
+		})
+		r := retries[0]
+		retries = retries[1:]
+		_, killedAt, ok := placeAttempt(r.id, r.ready)
+		if !ok {
+			return out
+		}
+		if killedAt < forever {
+			enqueueRetry(r.id, killedAt)
+		}
+	}
+	for _, f := range slotFree {
+		if f > out.end {
+			out.end = f
+		}
+	}
+	return out
+}
+
+// addStats folds another result's work statistics (not its makespan)
+// into this one.
+func (r *SimResult) addStats(o SimResult) {
+	r.Restarts += o.Restarts
+	r.RecomputedMaps += o.RecomputedMaps
+	r.KilledAttempts += o.KilledAttempts
+	r.SpeculativeLaunched += o.SpeculativeLaunched
+	r.SpeculativeWins += o.SpeculativeWins
+	r.WastedWork += o.WastedWork
+	if o.MaxCommits > r.MaxCommits {
+		r.MaxCommits = o.MaxCommits
+	}
+}
+
+// deadTimes returns each node's absolute death time (forever = stays
+// alive); events at or before `from` pin the node dead for the whole
+// window.
+func (s Spec) deadTimes(fm FailureModel, from time.Duration) []time.Duration {
+	dead := make([]time.Duration, s.Nodes)
+	for i := range dead {
+		dead[i] = forever
+	}
+	for _, f := range fm.Failures {
+		n := ((f.Node % s.Nodes) + s.Nodes) % s.Nodes
+		at := f.At
+		if at < from {
+			at = from
+		}
+		if at < dead[n] {
+			dead[n] = at
+		}
+	}
+	return dead
+}
+
+func (s Spec) normalized() Spec {
+	if s.Nodes < 1 {
+		s.Nodes = 1
+	}
+	if s.MapSlotsPerNode < 1 {
+		s.MapSlotsPerNode = 1
+	}
+	if s.ReduceSlotsPerNode < 1 {
+		s.ReduceSlotsPerNode = 1
+	}
+	return s
+}
+
+// SimulateJob computes the job's simulated completion time under the
+// failure model. With no failures it reduces to Makespan's schedule.
+func (s Spec) SimulateJob(jc JobCost, fm FailureModel) SimResult {
+	return s.normalized().simulateFrom(jc, fm, 0, 0)
+}
+
+func (s Spec) simulateFrom(jc JobCost, fm FailureModel, startAt time.Duration, depth int) SimResult {
+	var res SimResult
+	dead := s.deadTimes(fm, startAt)
+	liveAny := false
+	for _, d := range dead {
+		if d > startAt {
+			liveAny = true
+		}
+	}
+	if !liveAny || depth > 8 {
+		// The cluster is gone (or restarts cascaded past any plausible
+		// recovery): the job never finishes.
+		res.Makespan = forever
+		return res
+	}
+
+	var broadcast time.Duration
+	if jc.SideBytes > 0 && s.NetBytesPerSec > 0 {
+		broadcast = time.Duration(float64(jc.SideBytes) / s.NetBytesPerSec * float64(time.Second))
+	}
+	t0 := startAt + s.JobOverhead + broadcast
+
+	mapTasks := make([]simTask, len(jc.MapCosts))
+	for i, c := range jc.MapCosts {
+		t := simTask{cost: c + s.TaskOverhead}
+		if i < len(jc.MapLocations) && len(jc.MapLocations[i]) > 0 {
+			locs := jc.MapLocations[i]
+			if fm.Replication > 0 && len(locs) > fm.Replication {
+				// "What if this data had been stored with replication r":
+				// keep only the first r recorded replica holders.
+				locs = locs[:fm.Replication]
+			}
+			t.locs = locs
+			if i < len(jc.MapInputBytes) && s.NetBytesPerSec > 0 {
+				t.penalty = time.Duration(float64(jc.MapInputBytes[i]) / s.NetBytesPerSec * float64(time.Second))
+			}
+		}
+		mapTasks[i] = t
+	}
+	mw := s.simWave(mapTasks, s.MapSlotsPerNode, dead, fm, t0, nil)
+	res.absorb(mw)
+	if mw.lost {
+		return s.restart(jc, fm, mw.lostAt, depth, res)
+	}
+
+	// A node dying after map tasks committed on it loses their outputs:
+	// they are recomputed on the surviving map slots (needing a live
+	// input replica — at replication 1 this is the full-restart case),
+	// and reducers that have not started yet wait out the recomputation.
+	var barriers []barrier
+	for n := 0; n < s.Nodes; n++ {
+		failAt := dead[n]
+		if failAt == forever {
+			continue
+		}
+		var lostCosts []time.Duration
+		for i, cn := range mw.commitNode {
+			if cn != n {
+				continue
+			}
+			if len(mapTasks[i].locs) > 0 {
+				alive := false
+				for _, ln := range mapTasks[i].locs {
+					if dead[ln%s.Nodes] > failAt {
+						alive = true
+						break
+					}
+				}
+				if !alive {
+					return s.restart(jc, fm, failAt+fm.detect(), depth, res)
+				}
+			}
+			lostCosts = append(lostCosts, mapTasks[i].cost)
+		}
+		if len(lostCosts) == 0 {
+			continue
+		}
+		res.RecomputedMaps += len(lostCosts)
+		liveSlots := 0
+		for m := 0; m < s.Nodes; m++ {
+			if dead[m] > failAt {
+				liveSlots += s.MapSlotsPerNode
+			}
+		}
+		span := LPT(lostCosts, liveSlots)
+		barriers = append(barriers, barrier{from: failAt, until: failAt + fm.detect() + span})
+	}
+
+	reduceTasks := make([]simTask, len(jc.ReduceCosts))
+	for i, c := range jc.ReduceCosts {
+		fetch := time.Duration(0)
+		if i < len(jc.ShufflePerReduce) && s.NetBytesPerSec > 0 {
+			fetch = time.Duration(float64(jc.ShufflePerReduce[i]) / s.NetBytesPerSec * float64(time.Second))
+		}
+		reduceTasks[i] = simTask{cost: c + fetch + s.TaskOverhead}
+	}
+	rw := s.simWave(reduceTasks, s.ReduceSlotsPerNode, dead, fm, mw.end, barriers)
+	res.absorb(rw)
+	if rw.lost {
+		return s.restart(jc, fm, rw.lostAt, depth, res)
+	}
+	res.Makespan = rw.end
+	return res
+}
+
+// restart models an unrecoverable input loss: the whole job starts over
+// at `at` with the input reloaded onto the surviving nodes — fresh
+// local placement, so restarted map tasks run unconstrained. Work done
+// before the restart is reflected in the late start time; its attempt
+// statistics carry over.
+func (s Spec) restart(jc JobCost, fm FailureModel, at time.Duration, depth int, sofar SimResult) SimResult {
+	reloaded := jc
+	reloaded.MapLocations = nil
+	res := s.simulateFrom(reloaded, fm, at, depth+1)
+	res.Restarts++
+	res.addStats(sofar)
+	return res
+}
+
+// SimulateFlow runs dependent jobs back-to-back under one absolute
+// failure timeline: a node dead during one job stays dead for all
+// following jobs.
+func (s Spec) SimulateFlow(jobs []JobCost, fm FailureModel) SimResult {
+	s = s.normalized()
+	var total SimResult
+	at := time.Duration(0)
+	for _, jc := range jobs {
+		r := s.simulateFrom(jc, fm, at, 0)
+		total.addStats(r)
+		at = r.Makespan
+		if at == forever {
+			break
+		}
+	}
+	total.Makespan = at
+	return total
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/mapreduce"
+)
+
+// ---- node failures: a node death mid-pipeline must not change output ----
+
+// nfRun runs a BTO-PK-BRJ self-join on a 3-node DFS with the given
+// replication, killing node 0 after each job's map phase when kill is
+// set, and captures every surviving file plus each job's counters.
+func nfRun(t *testing.T, lines []string, replication int, kill, speculative bool) (map[string]string, []map[string]int64, *Result) {
+	t.Helper()
+	fs := dfs.New(dfs.Options{BlockSize: 512, Nodes: 3, Replication: replication, AutoReReplicate: true})
+	writeInput(t, fs, "in", lines)
+	cfg := Config{
+		FS: fs, Work: "w",
+		TokenOrder: BTO, Kernel: PK, RecordJoin: BRJ,
+		NumReducers: 3, Parallelism: 4,
+		Speculative: speculative,
+	}
+	if kill {
+		cfg.NodeFailures = []mapreduce.NodeFailure{{Barrier: mapreduce.AfterMap, Node: 0}}
+	}
+	res, err := SelfJoin(cfg, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{}
+	for _, name := range fs.List("w") {
+		b, err := fs.ReadAll(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[name] = string(b)
+	}
+	var counters []map[string]int64
+	for _, m := range res.AllJobs() {
+		counters = append(counters, m.Counters)
+	}
+	return files, counters, res
+}
+
+// TestSelfJoinSurvivesNodeDeathAtReplicationTwo: killing a node after
+// the first job's map phase — destroying a third of the input replicas
+// and the committed map outputs it held — must leave every stage's part
+// files and every job's counters byte-identical to a fault-free run,
+// with and without speculative execution.
+func TestSelfJoinSurvivesNodeDeathAtReplicationTwo(t *testing.T) {
+	lines := makeLines(7, 36, 1)
+	files, counters, base := nfRun(t, lines, 2, false, false)
+	if base.Pairs == 0 {
+		t.Fatal("test premise broken: no joined pairs")
+	}
+	for _, speculative := range []bool{false, true} {
+		gotFiles, gotCounters, res := nfRun(t, lines, 2, true, speculative)
+		if !reflect.DeepEqual(files, gotFiles) {
+			for name, want := range files {
+				if gotFiles[name] != want {
+					t.Errorf("speculative=%v: file %s differs from fault-free run", speculative, name)
+				}
+			}
+			for name := range gotFiles {
+				if _, ok := files[name]; !ok {
+					t.Errorf("speculative=%v: extra file %s", speculative, name)
+				}
+			}
+			t.Fatalf("speculative=%v: output not byte-identical after node death", speculative)
+		}
+		if !reflect.DeepEqual(counters, gotCounters) {
+			t.Fatalf("speculative=%v: counters differ:\nclean:  %v\nfaulty: %v",
+				speculative, counters, gotCounters)
+		}
+		recomputed := 0
+		for _, m := range res.AllJobs() {
+			recomputed += m.RecomputedMapTasks
+		}
+		if recomputed == 0 {
+			t.Fatalf("speculative=%v: node death recomputed no map outputs — the failure missed", speculative)
+		}
+	}
+}
+
+// TestSelfJoinReplicationOneNodeDeathFailsCleanly: at replication 1 the
+// dead node held the only copy of some input blocks; the join must fail
+// with ErrBlockUnavailable (retries cannot help) and leave no partial
+// files behind.
+func TestSelfJoinReplicationOneNodeDeathFailsCleanly(t *testing.T) {
+	fs := dfs.New(dfs.Options{BlockSize: 512, Nodes: 3, Replication: 1, AutoReReplicate: true})
+	writeInput(t, fs, "in", makeLines(7, 36, 1))
+	cfg := Config{
+		FS: fs, Work: "w",
+		TokenOrder: BTO, Kernel: PK, RecordJoin: BRJ,
+		NumReducers: 3, Parallelism: 4,
+		Retry:        mapreduce.RetryPolicy{MaxAttempts: 3},
+		NodeFailures: []mapreduce.NodeFailure{{Barrier: mapreduce.AfterMap, Node: 0}},
+	}
+	_, err := SelfJoin(cfg, "in")
+	if !errors.Is(err, dfs.ErrBlockUnavailable) {
+		t.Fatalf("replication-1 node death returned %v, want ErrBlockUnavailable", err)
+	}
+	if left := fs.List("w"); len(left) != 0 {
+		t.Fatalf("failed join left partial files: %v", left)
+	}
+}

@@ -205,6 +205,8 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("carry-records kernel: %w", err)
@@ -228,6 +230,8 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dedup: %w", err)

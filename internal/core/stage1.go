@@ -102,6 +102,8 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	})
 	if err != nil {
 		return "", nil, err
@@ -123,6 +125,8 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	})
 	if err != nil {
 		return "", nil, err
@@ -203,6 +207,8 @@ func runOPTO(cfg *Config, input string, work string) (tokenFile string, ms []*ma
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	})
 	if err != nil {
 		return "", nil, err

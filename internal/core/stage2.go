@@ -383,6 +383,8 @@ func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapre
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	}
 	switch cfg.Kernel {
 	case PK:
@@ -429,6 +431,8 @@ func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, [
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	}
 	if cfg.Kernel == PK {
 		job.Reducer = &pkRSReducer{cfg: cfg}

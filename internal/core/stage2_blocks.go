@@ -417,6 +417,8 @@ func runStage2SelfBlocked(cfg *Config, input, tokenFile, work string) (string, [
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	}
 	if cfg.BlockMode == MapBlocks {
 		job.Reducer = &mapBlockedSelfReducer{cfg: cfg}

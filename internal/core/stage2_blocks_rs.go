@@ -285,6 +285,8 @@ func runStage2RSBlocked(cfg *Config, inputR, inputS, tokenFile, work string) (st
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	}
 	if cfg.BlockMode == MapBlocks {
 		job.Reducer = &mapBlockedRSReducer{cfg: cfg}

@@ -175,6 +175,8 @@ func runStage2SelfLengthRouted(cfg *Config, input, tokenFile, work string) (stri
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	}
 	m, err := mapreduce.Run(job)
 	if err != nil {
@@ -323,6 +325,8 @@ func runStage2RSLengthRouted(cfg *Config, inputR, inputS, tokenFile, work string
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	}
 	m, err := mapreduce.Run(job)
 	if err != nil {

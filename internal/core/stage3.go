@@ -219,6 +219,8 @@ func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	})
 	if err != nil {
 		return "", nil, err
@@ -240,6 +242,8 @@ func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	})
 	if err != nil {
 		return "", nil, err
@@ -354,6 +358,8 @@ func runOPRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs boo
 		SpillPairs:      cfg.SpillPairs,
 		Retry:           cfg.Retry,
 		FaultInjector:   cfg.FaultInjector,
+		NodeFailures:    cfg.NodeFailures,
+		Speculative:     cfg.Speculative,
 	})
 	if err != nil {
 		return "", nil, err

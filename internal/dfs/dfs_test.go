@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -71,20 +72,35 @@ func TestBlockAlignment(t *testing.T) {
 	}
 }
 
-func TestOversizeRecordGetsOwnBlock(t *testing.T) {
+func TestOversizeRecordRejected(t *testing.T) {
 	fs := New(Options{BlockSize: 4})
 	w, _ := fs.Create("f")
-	w.Append([]byte("tiny"))
-	w.Append([]byte("this-record-exceeds-block-size"))
-	w.Append([]byte("more"))
-	w.Close()
-	splits, _ := fs.Splits("f")
-	if len(splits) != 3 {
-		t.Fatalf("splits = %d, want 3", len(splits))
+	if err := w.Append([]byte("tiny")); err != nil {
+		t.Fatal(err)
 	}
-	blk, _ := fs.Block("f", 1)
-	if string(blk) != "this-record-exceeds-block-size" {
-		t.Fatalf("block 1 = %q", blk)
+	// A record larger than the block size can never be stored without
+	// producing an oversized block that split-oblivious readers would
+	// mis-parse; it must be rejected, not silently written.
+	err := w.Append([]byte("this-record-exceeds-block-size"))
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("Append oversize err = %v, want ErrRecordTooLarge", err)
+	}
+	// The writer stays usable for fitting records.
+	if err := w.Append([]byte("more")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("f")
+	if err != nil || string(got) != "tinymore" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	splits, _ := fs.Splits("f")
+	for _, s := range splits {
+		if s.Bytes > 4 {
+			t.Fatalf("oversized block of %d bytes leaked through", s.Bytes)
+		}
 	}
 }
 
@@ -163,6 +179,31 @@ func TestListRemove(t *testing.T) {
 	}
 }
 
+// TestListSegmentAware: prefix matching is path-segment aware — "out"
+// must not match the sibling "outX/part-0" (the raw-prefix bug that made
+// cleanup delete foreign files).
+func TestListSegmentAware(t *testing.T) {
+	fs := New(Options{})
+	for _, n := range []string{"out", "out/part-0", "outX/part-0", "ou"} {
+		w, _ := fs.Create(n)
+		w.Append([]byte("x"))
+		w.Close()
+	}
+	got := fs.List("out")
+	if len(got) != 2 || got[0] != "out" || got[1] != "out/part-0" {
+		t.Fatalf("List(out) = %v, want [out out/part-0]", got)
+	}
+	if got := fs.List("out/"); len(got) != 1 || got[0] != "out/part-0" {
+		t.Fatalf("List(out/) = %v", got)
+	}
+	if n := fs.RemovePrefix("out"); n != 2 {
+		t.Fatalf("RemovePrefix(out) removed %d, want 2", n)
+	}
+	if !fs.Exists("outX/part-0") || !fs.Exists("ou") {
+		t.Fatal("RemovePrefix(out) deleted a sibling file")
+	}
+}
+
 func TestMissingFileErrors(t *testing.T) {
 	fs := New(Options{})
 	if _, err := fs.ReadAll("nope"); err == nil {
@@ -204,15 +245,22 @@ func TestEmptyFile(t *testing.T) {
 }
 
 // TestContentPreservedProperty: concatenating all blocks always equals the
-// concatenation of appended records, regardless of record sizes vs block
-// size.
+// concatenation of appended records, for every record that fits in a
+// block (larger ones are rejected with ErrRecordTooLarge and must leave
+// the stored contents untouched).
 func TestContentPreservedProperty(t *testing.T) {
 	f := func(recs [][]byte, blockSize uint8) bool {
-		fs := New(Options{BlockSize: int(blockSize%64) + 1, Nodes: 3})
+		bs := int(blockSize%64) + 1
+		fs := New(Options{BlockSize: bs, Nodes: 3})
 		w, _ := fs.Create("f")
 		var want []byte
 		for _, r := range recs {
-			w.Append(r)
+			if err := w.Append(r); err != nil {
+				if len(r) <= bs || !errors.Is(err, ErrRecordTooLarge) {
+					return false
+				}
+				continue
+			}
 			want = append(want, r...)
 		}
 		w.Close()

@@ -1,0 +1,301 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// writeFile creates a file of n single-record blocks "rec00".."recNN".
+func writeFile(t *testing.T, fs *FS, name string, n int) {
+	t.Helper()
+	w, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("rec%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaPlacementDistinctNodes(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 4, Replication: 3})
+	writeFile(t, fs, "f", 8)
+	splits, err := fs.Splits("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 8 {
+		t.Fatalf("splits = %d, want 8", len(splits))
+	}
+	perNode := map[int]int{}
+	for _, s := range splits {
+		if len(s.Locations) != 3 {
+			t.Fatalf("block %d has %d replicas, want 3 (%v)", s.Block, len(s.Locations), s.Locations)
+		}
+		seen := map[int]bool{}
+		for _, n := range s.Locations {
+			if seen[n] {
+				t.Fatalf("block %d places two replicas on node %d: %v", s.Block, n, s.Locations)
+			}
+			seen[n] = true
+			perNode[n]++
+		}
+	}
+	// Round-robin placement keeps replicas balanced: 8 blocks × 3 replicas
+	// over 4 nodes = 6 per node.
+	for n := 0; n < 4; n++ {
+		if perNode[n] != 6 {
+			t.Fatalf("node %d holds %d replicas, want 6 (%v)", n, perNode[n], perNode)
+		}
+	}
+}
+
+func TestRenamePreservesReplicaLocations(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 3, Replication: 2})
+	writeFile(t, fs, "tmp", 4)
+	before, _ := fs.Splits("tmp")
+	if err := fs.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := fs.Splits("final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("blocks changed across Rename: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if fmt.Sprint(after[i].Locations) != fmt.Sprint(before[i].Locations) {
+			t.Fatalf("block %d locations changed: %v -> %v", i, before[i].Locations, after[i].Locations)
+		}
+	}
+}
+
+func TestReadFailsOverToLiveReplica(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 3, Replication: 2})
+	writeFile(t, fs, "f", 6)
+	want, err := fs.ReadAll("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any single node death leaves one live replica per block.
+	for n := 0; n < 3; n++ {
+		fs.FailNode(n)
+		got, err := fs.ReadAll("f")
+		if err != nil {
+			t.Fatalf("node %d dead: %v", n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("node %d dead: contents diverged", n)
+		}
+		fs.RecoverNode(n)
+	}
+}
+
+func TestBlockUnavailableWhenAllReplicasDead(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 3, Replication: 1})
+	writeFile(t, fs, "f", 3) // block i on node i
+	fs.FailNode(1)
+	if _, err := fs.Block("f", 1); !errors.Is(err, ErrBlockUnavailable) {
+		t.Fatalf("Block err = %v, want ErrBlockUnavailable", err)
+	}
+	if _, err := fs.ReadAll("f"); !errors.Is(err, ErrBlockUnavailable) {
+		t.Fatalf("ReadAll err = %v, want ErrBlockUnavailable", err)
+	}
+	// Blocks on live nodes stay readable.
+	if _, err := fs.Block("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery restores the data (the node's disk survived).
+	fs.RecoverNode(1)
+	if _, err := fs.ReadAll("f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptReplicaFailsOver(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 2, Replication: 2})
+	writeFile(t, fs, "f", 1)
+	splits, _ := fs.Splits("f")
+	locs := splits[0].Locations
+	if err := fs.CorruptReplica("f", 0, locs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The corrupt replica fails its checksum; the read must come from
+	// the second replica.
+	if _, err := fs.Block("f", 0); err != nil {
+		t.Fatalf("read did not fail over past corrupt replica: %v", err)
+	}
+	// Corrupting the last clean replica exhausts the block.
+	if err := fs.CorruptReplica("f", 0, locs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Block("f", 0); !errors.Is(err, ErrBlockUnavailable) {
+		t.Fatalf("Block err = %v, want ErrBlockUnavailable", err)
+	}
+}
+
+func TestReReplicateRestoresFactor(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 4, Replication: 2})
+	writeFile(t, fs, "f", 4)
+	splits, _ := fs.Splits("f")
+	victim := splits[0].Locations[0]
+	survivor := splits[0].Locations[1]
+	fs.FailNode(victim)
+	if n := fs.ReReplicate(); n == 0 {
+		t.Fatal("ReReplicate placed no replicas after a node death")
+	}
+	// The survivor may now die too: block 0 must still be readable
+	// through the re-replicated copy.
+	fs.FailNode(survivor)
+	if _, err := fs.Block("f", 0); err != nil {
+		t.Fatalf("block lost despite re-replication: %v", err)
+	}
+	// A second ReReplicate run finds nothing under-replicated among the
+	// two remaining nodes... after re-replicating blocks that lost
+	// copies on the second victim.
+	fs.ReReplicate()
+	if n := fs.ReReplicate(); n != 0 {
+		t.Fatalf("ReReplicate not idempotent: placed %d more", n)
+	}
+}
+
+func TestReReplicateDropsCorruptReplicas(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 3, Replication: 2})
+	writeFile(t, fs, "f", 1)
+	splits, _ := fs.Splits("f")
+	locs := splits[0].Locations
+	if err := fs.CorruptReplica("f", 0, locs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := fs.ReReplicate(); n != 1 {
+		t.Fatalf("ReReplicate placed %d, want 1 (replacing the corrupt copy)", n)
+	}
+	// With the corrupt copy replaced by a fresh one, losing the original
+	// clean node still leaves the block readable.
+	fs.FailNode(locs[1])
+	if _, err := fs.Block("f", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoReReplicateOnFailure(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 3, Replication: 2, AutoReReplicate: true})
+	writeFile(t, fs, "f", 3)
+	splits, _ := fs.Splits("f")
+	victim := splits[0].Locations[0]
+	fs.FailNode(victim) // triggers re-replication internally
+	fs.FailNode(splits[0].Locations[1])
+	if _, err := fs.Block("f", 0); err != nil {
+		t.Fatalf("auto re-replication did not run: %v", err)
+	}
+}
+
+func TestWritesAvoidDeadNodes(t *testing.T) {
+	fs := New(Options{BlockSize: 5, Nodes: 3, Replication: 2})
+	fs.FailNode(0)
+	writeFile(t, fs, "f", 6)
+	splits, _ := fs.Splits("f")
+	for _, s := range splits {
+		if len(s.Locations) != 2 {
+			t.Fatalf("block %d has %d replicas, want 2", s.Block, len(s.Locations))
+		}
+		for _, n := range s.Locations {
+			if n == 0 {
+				t.Fatalf("block %d placed on dead node 0: %v", s.Block, s.Locations)
+			}
+		}
+	}
+	// With every node dead, writes must fail rather than place blocks.
+	fs.FailNode(1)
+	fs.FailNode(2)
+	w, _ := fs.Create("g")
+	if err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err) // buffered, no block cut yet
+	}
+	if err := w.Close(); !errors.Is(err, ErrNoLiveNodes) {
+		t.Fatalf("Close err = %v, want ErrNoLiveNodes", err)
+	}
+}
+
+// TestLivenessPlacementRace: writers cutting blocks (which consult the
+// liveness set and the placement cursor) must not race with concurrent
+// FailNode/RecoverNode/ReReplicate. Run under -race (make tier1 does).
+func TestLivenessPlacementRace(t *testing.T) {
+	fs := New(Options{BlockSize: 32, Nodes: 4, Replication: 2})
+	stop := make(chan struct{})
+	var toggler sync.WaitGroup
+	toggler.Add(1)
+	go func() {
+		defer toggler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fs.FailNode(3)
+			fs.ReReplicate()
+			fs.RecoverNode(3)
+		}
+	}()
+	var writers sync.WaitGroup
+	var werr error
+	var werrMu sync.Mutex
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			wr, err := fs.Create(fmt.Sprintf("f%d", w))
+			if err == nil {
+				for i := 0; i < 200 && err == nil; i++ {
+					err = wr.Append([]byte(fmt.Sprintf("w%d-rec%03d\n", w, i)))
+				}
+				if err == nil {
+					err = wr.Close()
+				}
+			}
+			werrMu.Lock()
+			if werr == nil {
+				werr = err
+			}
+			werrMu.Unlock()
+		}(w)
+	}
+	// Readers alongside.
+	for r := 0; r < 2; r++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 100; i++ {
+				for _, name := range fs.List("") {
+					fs.ReadAll(name)
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	toggler.Wait()
+	fs.RecoverNode(3)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	for w := 0; w < 4; w++ {
+		data, err := fs.ReadAll(fmt.Sprintf("f%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bytes.Count(data, []byte{'\n'}); got != 200 {
+			t.Fatalf("writer %d: %d records survived, want 200", w, got)
+		}
+	}
+}

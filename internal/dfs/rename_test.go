@@ -11,7 +11,11 @@ func TestRename(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Append([]byte("hello world, spanning blocks\n"))
+	for _, rec := range []string{"hello wo", "rld, spa", "nning bl", "ocks\n"} {
+		if err := w.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}

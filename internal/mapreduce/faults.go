@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"time"
+
+	"fuzzyjoin/internal/dfs"
 )
 
 // This file implements the task-attempt model: each map/reduce task runs
@@ -228,6 +230,13 @@ func runTaskAttempts[T any](job *Job, phase Phase, taskID int,
 		lastErr = err
 		if discard != nil {
 			discard(attempt)
+		}
+		// A lost block is not a transient fault: the DFS liveness set only
+		// changes at job barriers, so re-reading cannot succeed. Fail the
+		// task (and so the job) immediately instead of burning retries —
+		// with replication 1 this is the clean whole-job failure path.
+		if errors.Is(err, dfs.ErrBlockUnavailable) {
+			return zero, TaskMetrics{}, fmt.Errorf("after %d attempt(s): %w", attempt, lastErr)
 		}
 	}
 	return zero, TaskMetrics{}, fmt.Errorf("after %d attempt(s): %w", max, lastErr)

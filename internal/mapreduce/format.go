@@ -138,7 +138,9 @@ func (fw *fileWriter) write(key, value []byte) error {
 	default:
 		return fmt.Errorf("mapreduce: unknown format %d", fw.format)
 	}
-	fw.w.Append(fw.buf)
+	if err := fw.w.Append(fw.buf); err != nil {
+		return err
+	}
 	fw.recs++
 	fw.bytes += int64(len(fw.buf))
 	return nil
@@ -154,7 +156,9 @@ func WriteTextFile(fs *dfs.FS, name string, lines []string) error {
 		return err
 	}
 	for _, l := range lines {
-		w.Append(append([]byte(l), '\n'))
+		if err := w.Append(append([]byte(l), '\n')); err != nil {
+			return err
+		}
 	}
 	return w.Close()
 }
@@ -168,7 +172,9 @@ func WritePairsFile(fs *dfs.FS, name string, pairs []Pair) error {
 	var buf []byte
 	for _, p := range pairs {
 		buf = appendPair(buf[:0], p.Key, p.Value)
-		w.Append(buf)
+		if err := w.Append(buf); err != nil {
+			return err
+		}
 	}
 	return w.Close()
 }
@@ -195,6 +201,9 @@ func expandInputs(fs *dfs.FS, inputs []string) ([]string, error) {
 	var out []string
 	for _, in := range inputs {
 		if len(in) > 0 && in[len(in)-1] == '/' {
+			// Segment-aware List: a "/"-suffixed prefix matches exactly
+			// the files underneath it, so "out/" can never pick up a
+			// sibling directory like "out2/".
 			files := fs.List(in)
 			if len(files) == 0 {
 				return nil, fmt.Errorf("mapreduce: input prefix %q matches no files", in)
@@ -229,8 +238,9 @@ func ReadPairs(fs *dfs.FS, name string) ([]Pair, error) {
 	return out, nil
 }
 
-// ReadOutputPairs returns every pair across all part files under prefix
-// (which should end in "/").
+// ReadOutputPairs returns every pair across all part files under prefix.
+// List is path-segment aware, so a bare job-output prefix reads exactly
+// that job's part files, never a sibling prefix's.
 func ReadOutputPairs(fs *dfs.FS, prefix string) ([]Pair, error) {
 	var out []Pair
 	for _, name := range fs.List(prefix) {
@@ -244,12 +254,10 @@ func ReadOutputPairs(fs *dfs.FS, prefix string) ([]Pair, error) {
 }
 
 // ReadLines returns every line across all part files under prefix for
-// Text-format outputs (or a single file if prefix names one).
+// Text-format outputs (or a single file if prefix names one — the
+// segment-aware List includes the file named exactly `prefix` itself).
 func ReadLines(fs *dfs.FS, prefix string) ([]string, error) {
 	names := fs.List(prefix)
-	if len(names) == 0 && fs.Exists(prefix) {
-		names = []string{prefix}
-	}
 	var out []string
 	for _, name := range names {
 		b, err := fs.ReadAll(name)

@@ -216,6 +216,16 @@ type Job struct {
 	// fault injection for tests and failure experiments. Injected
 	// failures exercise the same rollback path as genuine task errors.
 	FaultInjector FaultInjector
+	// NodeFailures schedules deterministic DFS node deaths and recoveries
+	// at job barriers (see nodefail.go). A node dying after the map phase
+	// loses the map outputs stored on it; the engine re-executes those
+	// completed map tasks, Hadoop's lost-map-output recovery.
+	NodeFailures []NodeFailure
+	// Speculative races a concurrent backup attempt against every reduce
+	// task (Hadoop's speculative execution): the first attempt to finish
+	// commits, the loser's temp output is discarded and its counters
+	// dropped, so exactly one attempt's effects reach the job output.
+	Speculative bool
 }
 
 // spillEmitter triggers a spill when the buffered pair count reaches the
@@ -391,6 +401,21 @@ type TaskMetrics struct {
 	// entry is the committed attempt's cost (== Cost). The cluster
 	// simulator charges the failed attempts into the makespan.
 	AttemptCosts []time.Duration
+	// OutputNode (map tasks only) is the node the committed attempt's
+	// output lives on — the first live replica holder of its input split.
+	// If that node dies before the shuffle the output is lost and the
+	// task is recomputed.
+	OutputNode int
+	// Recomputed marks a map task re-executed after its output node died
+	// (the recomputation's counters are discarded as duplicates of the
+	// already-merged originals).
+	Recomputed bool
+	// Speculative counts backup attempts launched for this task and
+	// BackupCost is the killed losers' work — wasted effort the cluster
+	// simulator charges separately from AttemptCosts (which model the
+	// sequential retry chain).
+	Speculative int
+	BackupCost  time.Duration
 }
 
 // Metrics describes one job execution.
@@ -401,6 +426,9 @@ type Metrics struct {
 	// SideBytes is the total size of broadcast side files (charged once
 	// per node by the simulator).
 	SideBytes int64
+	// RecomputedMapTasks counts map tasks re-executed because their
+	// output node died before the shuffle.
+	RecomputedMapTasks int
 	// Counters holds the job's aggregated counters.
 	Counters map[string]int64
 }

@@ -618,7 +618,15 @@ func TestValuesKeyBeforeNext(t *testing.T) {
 }
 
 func TestPairsRoundTripViaFile(t *testing.T) {
-	fs := newFS()
+	// The 300-byte pair exceeds newFS's 256-byte blocks: the DFS rejects
+	// records larger than a block, so the write must surface that error.
+	if err := WritePairsFile(newFS(), "f", []Pair{
+		{Key: []byte("k"), Value: bytes.Repeat([]byte("v"), 300)},
+	}); !errors.Is(err, dfs.ErrRecordTooLarge) {
+		t.Fatalf("oversized pair: err = %v, want ErrRecordTooLarge", err)
+	}
+
+	fs := dfs.New(dfs.Options{BlockSize: 1024, Nodes: 4})
 	in := []Pair{
 		{Key: []byte{}, Value: []byte{}},
 		{Key: []byte("k"), Value: bytes.Repeat([]byte("v"), 300)},

@@ -1,0 +1,129 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"fuzzyjoin/internal/dfs"
+)
+
+// This file implements the engine's node-level failure model on top of
+// the task-attempt layer (faults.go). Task retries handle *attempt*
+// failures — flaky user code, timeouts, panics. Node failures are a
+// different contract: a dead DFS node takes down every block replica it
+// held AND the map outputs of every map task that ran on it. Hadoop
+// recovers the former through HDFS replication and the latter by
+// re-executing completed map tasks whose outputs became unfetchable —
+// the one recovery path plain task retries cannot express, because the
+// failed unit (a node) is not the unit being retried (a task attempt).
+//
+// Node failures are injected at deterministic job barriers (before the
+// map phase, after the map phase) so fault-injected runs are exactly
+// reproducible; the cluster simulator (internal/cluster) models the
+// continuous-time version of the same events.
+
+// Barrier identifies a deterministic point in a job's execution at
+// which node failures are applied.
+type Barrier string
+
+const (
+	// BeforeMap applies the event before any map task starts: input
+	// splits on the node are read from replicas from the start.
+	BeforeMap Barrier = "before-map"
+	// AfterMap applies the event after every map task has committed and
+	// before the shuffle: the node's map outputs are lost and must be
+	// recomputed, the classic Hadoop lost-map-output recovery.
+	AfterMap Barrier = "after-map"
+)
+
+// NodeFailure schedules one node's death (or recovery) at a job
+// barrier. Failures act on the shared DFS liveness set, so a node
+// failed during one job of a pipeline stays dead for the following jobs
+// until explicitly recovered.
+type NodeFailure struct {
+	// Job restricts the event to the named job; empty matches every
+	// job (FailNode/RecoverNode are idempotent, so a matching event
+	// re-applied by later jobs is harmless).
+	Job string
+	// Barrier is the point the event fires at.
+	Barrier Barrier
+	// Node is the DFS node ID.
+	Node int
+	// Recover brings the node back instead of killing it.
+	Recover bool
+}
+
+// applyNodeFailures fires the job's node events for one barrier and, if
+// any fired, lets the DFS re-replicator catch up — the deterministic
+// stand-in for the namenode's background re-replication running between
+// phases.
+func applyNodeFailures(job *Job, barrier Barrier) {
+	applied := false
+	for _, nf := range job.NodeFailures {
+		if nf.Barrier != barrier || (nf.Job != "" && nf.Job != job.Name) {
+			continue
+		}
+		if nf.Recover {
+			job.FS.RecoverNode(nf.Node)
+		} else {
+			job.FS.FailNode(nf.Node)
+		}
+		applied = true
+	}
+	if applied {
+		job.FS.ReReplicate()
+	}
+}
+
+// mapOutputNode picks the node a map task's output lives on: the first
+// live replica holder of its input split (the task ran data-local), or
+// a deterministic live node when every replica holder is dead, so the
+// simulated placement stays balanced.
+func mapOutputNode(fs *dfs.FS, split dfs.Split, taskID int) int {
+	for _, n := range split.Locations {
+		if fs.NodeAlive(n) {
+			return n
+		}
+	}
+	if live := fs.LiveNodes(); len(live) > 0 {
+		return live[taskID%len(live)]
+	}
+	return 0
+}
+
+// recoverLostMapOutputs re-executes every committed map task whose
+// output node has died, replacing its shuffle segments in place. The
+// recomputation runs under the job's retry policy like any attempt; its
+// counters are discarded (the original attempt's identical counts were
+// already merged at commit, and double-merging would double the job
+// totals). Attempt metrics are extended so the cluster simulator
+// charges the re-executed work. Returns the number of recomputed tasks.
+func recoverLostMapOutputs(job *Job, splits []dfs.Split, side map[string][]byte,
+	segments [][][]byte, outNodes []int, metrics *Metrics) (int, error) {
+
+	recomputed := 0
+	for i, node := range outNodes {
+		if job.FS.NodeAlive(node) {
+			continue
+		}
+		res, tm, err := runTaskAttempts(job, MapPhase, i, func(attempt int) (mapResult, TaskMetrics, error) {
+			return runMapTask(job, i, attempt, splits[i], side)
+		}, nil)
+		if err != nil {
+			return recomputed, fmt.Errorf("map task %d: recomputing output lost on node %d: %w", i, node, err)
+		}
+		segments[i] = res.parts
+		outNodes[i] = mapOutputNode(job.FS, splits[i], i)
+		mt := &metrics.MapTasks[i]
+		if len(mt.AttemptCosts) == 0 {
+			mt.AttemptCosts = []time.Duration{mt.Cost}
+		}
+		mt.AttemptCosts = append(mt.AttemptCosts, tm.AttemptCosts...)
+		mt.Attempts += tm.Attempts
+		mt.Cost = tm.Cost
+		mt.Recomputed = true
+		mt.OutputNode = outNodes[i]
+		recomputed++
+	}
+	return recomputed, nil
+}

@@ -1,0 +1,258 @@
+package mapreduce
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"fuzzyjoin/internal/dfs"
+)
+
+func newReplicatedFS(replication int) *dfs.FS {
+	return dfs.New(dfs.Options{BlockSize: 256, Nodes: 4, Replication: replication})
+}
+
+// TestNodeFailureAfterMapRecoversLostOutputs: a node dying between the
+// map and reduce phases loses the map outputs it held; the engine must
+// re-execute exactly those map tasks and still produce byte-identical
+// output and counters (replication 2 keeps the inputs readable).
+func TestNodeFailureAfterMapRecoversLostOutputs(t *testing.T) {
+	cleanFS := newReplicatedFS(2)
+	writeFaultInput(t, cleanFS)
+	clean, err := Run(faultJob(cleanFS, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := newReplicatedFS(2)
+	writeFaultInput(t, fs)
+	job := faultJob(fs, "out")
+	job.NodeFailures = []NodeFailure{{Barrier: AfterMap, Node: 0}}
+	faulty, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !sameStringMaps(outputBytes(t, cleanFS, "out"), outputBytes(t, fs, "out")) {
+		t.Fatal("output after node death differs from fault-free output")
+	}
+	if !sameStringMaps(clean.Counters, faulty.Counters) {
+		t.Fatalf("counters differ (recomputed maps double-counted?): clean %v faulty %v",
+			clean.Counters, faulty.Counters)
+	}
+	if faulty.RecomputedMapTasks == 0 {
+		t.Fatal("no map tasks recomputed despite their output node dying")
+	}
+	for i, mt := range faulty.MapTasks {
+		if mt.Recomputed {
+			if mt.Attempts < 2 {
+				t.Fatalf("recomputed map task %d has Attempts = %d, want >= 2", i, mt.Attempts)
+			}
+			if !fs.NodeAlive(mt.OutputNode) {
+				t.Fatalf("recomputed map task %d output re-placed on dead node %d", i, mt.OutputNode)
+			}
+		} else if mt.OutputNode == 0 {
+			t.Fatalf("map task %d output on dead node 0 but not recomputed", i)
+		}
+	}
+}
+
+// TestNodeFailureBeforeMapReadsFromReplicas: a node dead before the map
+// phase forces every read of its blocks onto surviving replicas; no map
+// outputs are lost because none were placed on it.
+func TestNodeFailureBeforeMapReadsFromReplicas(t *testing.T) {
+	cleanFS := newReplicatedFS(2)
+	writeFaultInput(t, cleanFS)
+	if _, err := Run(faultJob(cleanFS, "out")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := newReplicatedFS(2)
+	writeFaultInput(t, fs)
+	job := faultJob(fs, "out")
+	job.NodeFailures = []NodeFailure{{Barrier: BeforeMap, Node: 0}}
+	m, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStringMaps(outputBytes(t, cleanFS, "out"), outputBytes(t, fs, "out")) {
+		t.Fatal("output with pre-map node death differs from fault-free output")
+	}
+	if m.RecomputedMapTasks != 0 {
+		t.Fatalf("RecomputedMapTasks = %d, want 0 (node died before outputs existed)", m.RecomputedMapTasks)
+	}
+	for i, mt := range m.MapTasks {
+		if mt.OutputNode == 0 {
+			t.Fatalf("map task %d placed output on the dead node", i)
+		}
+	}
+}
+
+// TestReplicationOneNodeDeathFailsJobCleanly: with replication 1 a node
+// death is unrecoverable — the job must fail with ErrBlockUnavailable
+// and leave no partial output (the full-job-restart case of the paper's
+// fault-tolerance argument for replication).
+func TestReplicationOneNodeDeathFailsJobCleanly(t *testing.T) {
+	fs := newReplicatedFS(1)
+	writeFaultInput(t, fs)
+	job := faultJob(fs, "out")
+	job.Retry = RetryPolicy{MaxAttempts: 3} // retries must not mask block loss
+	job.NodeFailures = []NodeFailure{{Barrier: AfterMap, Node: 0}}
+	_, err := Run(job)
+	if !errors.Is(err, dfs.ErrBlockUnavailable) {
+		t.Fatalf("err = %v, want ErrBlockUnavailable", err)
+	}
+	if names := fs.List("out"); len(names) != 0 {
+		t.Fatalf("failed job left output files: %v", names)
+	}
+}
+
+// TestNodeRecoverEventRestoresData: a Recover event at a later barrier
+// brings a node (and its blocks) back — replication 1 data becomes
+// readable again without re-replication.
+func TestNodeRecoverEventRestoresData(t *testing.T) {
+	fs := newReplicatedFS(2)
+	writeFaultInput(t, fs)
+	job := faultJob(fs, "out")
+	job.NodeFailures = []NodeFailure{
+		{Barrier: BeforeMap, Node: 0},
+		{Barrier: AfterMap, Node: 0, Recover: true},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.NodeAlive(0) {
+		t.Fatal("node 0 not recovered by the AfterMap recover event")
+	}
+}
+
+// TestSpeculativeSingleWinner: with speculation on, every reduce task
+// races two attempts but exactly one commits — part-file count, output
+// bytes, and counters all match the non-speculative run.
+func TestSpeculativeSingleWinner(t *testing.T) {
+	cleanFS := newFS()
+	writeFaultInput(t, cleanFS)
+	clean, err := Run(faultJob(cleanFS, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs := newFS()
+	writeFaultInput(t, fs)
+	job := faultJob(fs, "out")
+	job.Speculative = true
+	spec, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !sameStringMaps(outputBytes(t, cleanFS, "out"), outputBytes(t, fs, "out")) {
+		t.Fatal("speculative output differs from non-speculative output")
+	}
+	if !sameStringMaps(clean.Counters, spec.Counters) {
+		t.Fatalf("counters differ (loser's counters merged?): clean %v spec %v",
+			clean.Counters, spec.Counters)
+	}
+	names := fs.List("out/")
+	if len(names) != job.NumReducers {
+		t.Fatalf("%d part files for %d reducers: %v", len(names), job.NumReducers, names)
+	}
+	for _, name := range names {
+		if strings.Contains(name, "_temporary") {
+			t.Fatalf("loser temp file survived: %s", name)
+		}
+	}
+	for r, rt := range spec.ReduceTasks {
+		if rt.Speculative != 1 {
+			t.Fatalf("reduce task %d Speculative = %d, want 1", r, rt.Speculative)
+		}
+		if rt.Attempts != 1 {
+			t.Fatalf("reduce task %d Attempts = %d, want 1 (one winner)", r, rt.Attempts)
+		}
+	}
+}
+
+// TestSpeculativeSurvivesOneFailedAttempt: the backup attempt makes the
+// task survive a single attempt failure with no retry policy at all.
+func TestSpeculativeSurvivesOneFailedAttempt(t *testing.T) {
+	cleanFS := newFS()
+	writeFaultInput(t, cleanFS)
+	if _, err := Run(faultJob(cleanFS, "out")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := newFS()
+	writeFaultInput(t, fs)
+	job := faultJob(fs, "out")
+	job.Speculative = true
+	job.FaultInjector = FailAttempts(
+		TaskRef{Phase: ReducePhase, TaskID: 0, Attempt: 1},
+		TaskRef{Phase: ReducePhase, TaskID: 1, Attempt: 2},
+	)
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if !sameStringMaps(outputBytes(t, cleanFS, "out"), outputBytes(t, fs, "out")) {
+		t.Fatal("output differs after losing one speculative attempt per task")
+	}
+
+	// Both attempts failing kills the task and the job.
+	fs2 := newFS()
+	writeFaultInput(t, fs2)
+	job2 := faultJob(fs2, "out")
+	job2.Speculative = true
+	job2.FaultInjector = FailAttempts(
+		TaskRef{Phase: ReducePhase, TaskID: 0, Attempt: 1},
+		TaskRef{Phase: ReducePhase, TaskID: 0, Attempt: 2},
+	)
+	if _, err := Run(job2); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("err = %v, want ErrInjectedFault", err)
+	}
+	if names := fs2.List("out"); len(names) != 0 {
+		t.Fatalf("failed speculative job left output: %v", names)
+	}
+}
+
+// TestJobSurvivesConcurrentNodeToggle runs a full job while another
+// goroutine flaps a node's liveness (with re-replication in between) —
+// the engine-level concurrency test for the liveness set; run under
+// -race by make tier1. Replication 2 over 4 nodes guarantees every
+// block keeps a live replica while a single node is down.
+func TestJobSurvivesConcurrentNodeToggle(t *testing.T) {
+	cleanFS := newReplicatedFS(2)
+	writeFaultInput(t, cleanFS)
+	if _, err := Run(faultJob(cleanFS, "out")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := newReplicatedFS(2)
+	writeFaultInput(t, fs)
+	stop := make(chan struct{})
+	var toggler sync.WaitGroup
+	toggler.Add(1)
+	go func() {
+		defer toggler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fs.FailNode(3)
+			fs.ReReplicate()
+			fs.RecoverNode(3)
+		}
+	}()
+	job := faultJob(fs, "out")
+	job.Parallelism = 4
+	_, err := Run(job)
+	close(stop)
+	toggler.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStringMaps(outputBytes(t, cleanFS, "out"), outputBytes(t, fs, "out")) {
+		t.Fatal("output under node flapping differs from fault-free output")
+	}
+}

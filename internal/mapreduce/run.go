@@ -30,6 +30,11 @@ func Run(job Job) (*Metrics, error) {
 		return nil, fmt.Errorf("job %s: %w", job.Name, err)
 	}
 
+	// Node deaths scheduled before the map phase hit every read from here
+	// on: side-file loads and input splits fail over to surviving replicas
+	// (or fail the job cleanly at replication 1).
+	applyNodeFailures(&job, BeforeMap)
+
 	side, sideBytes, err := loadSideFiles(job.FS, job.SideFiles)
 	if err != nil {
 		return nil, fmt.Errorf("job %s: %w", job.Name, err)
@@ -59,6 +64,7 @@ func Run(job Job) (*Metrics, error) {
 
 	// ---- Map phase ----
 	segments := make([][][]byte, len(splits)) // [mapTask][partition] encoded segment
+	outNodes := make([]int, len(splits))      // node holding each map task's output
 	metrics.MapTasks = make([]TaskMetrics, len(splits))
 	if err := runParallel(len(splits), job.Parallelism, func(i int) error {
 		res, tm, err := runTaskAttempts(&job, MapPhase, i, func(attempt int) (mapResult, TaskMetrics, error) {
@@ -69,6 +75,8 @@ func Run(job Job) (*Metrics, error) {
 		}
 		counters.merge(res.counters)
 		segments[i] = res.parts
+		outNodes[i] = mapOutputNode(job.FS, splits[i], i)
+		tm.OutputNode = outNodes[i]
 		metrics.MapTasks[i] = tm
 		return nil
 	}); err != nil {
@@ -76,16 +84,38 @@ func Run(job Job) (*Metrics, error) {
 		return nil, fmt.Errorf("job %s: %w", job.Name, err)
 	}
 
+	// ---- Node failures at the map/shuffle barrier ----
+	// A node dying here takes its committed map outputs with it; those
+	// tasks are re-executed before any reducer fetches (Hadoop's
+	// lost-map-output recovery). Nodes may also have died externally
+	// (tests toggling liveness mid-job), so the check always runs.
+	applyNodeFailures(&job, AfterMap)
+	recomputed, err := recoverLostMapOutputs(&job, splits, side, segments, outNodes, metrics)
+	metrics.RecomputedMapTasks = recomputed
+	if err != nil {
+		track.removeAll(job.FS)
+		return nil, fmt.Errorf("job %s: %w", job.Name, err)
+	}
+
 	// ---- Reduce phase (shuffle + sort + reduce) ----
 	metrics.ReduceTasks = make([]TaskMetrics, job.NumReducers)
 	if err := runParallel(job.NumReducers, job.Parallelism, func(r int) error {
-		res, tm, err := runTaskAttempts(&job, ReducePhase, r, func(attempt int) (reduceResult, TaskMetrics, error) {
-			return runReduceTask(&job, r, attempt, segments, side, track)
-		}, func(attempt int) {
-			// Discard the failed attempt's partial part file (if the
-			// attempt got far enough to create it) before retrying.
-			track.remove(job.FS, tempPartName(job.Output, r, attempt))
-		})
+		var (
+			res reduceResult
+			tm  TaskMetrics
+			err error
+		)
+		if job.Speculative {
+			res, tm, err = runReduceSpeculative(&job, r, segments, side, track)
+		} else {
+			res, tm, err = runTaskAttempts(&job, ReducePhase, r, func(attempt int) (reduceResult, TaskMetrics, error) {
+				return runReduceTask(&job, r, attempt, segments, side, track)
+			}, func(attempt int) {
+				// Discard the failed attempt's partial part file (if the
+				// attempt got far enough to create it) before retrying.
+				track.remove(job.FS, tempPartName(job.Output, r, attempt))
+			})
+		}
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,75 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+)
+
+// Speculative execution (Hadoop's mapred.{map,reduce}.tasks.speculative):
+// a backup attempt of a task runs concurrently with the original, and
+// whichever finishes first commits. On a real cluster the point is to
+// sidestep stragglers; the engine runs both attempts to completion and
+// commits the first successful finisher, proving the single-winner
+// invariant — exactly one part file per reducer, exactly one counter
+// merge — that the cluster simulator's time model relies on. The
+// simulated makespan effect of speculation (backup launch timing, loser
+// kill, wasted work) is modeled in internal/cluster.
+
+// runReduceSpeculative races attempts 1 and 2 of one reduce task. Each
+// attempt writes its own attempt-suffixed temp file and buffers its own
+// counters, so the race has no shared state; the loser is "killed" by
+// discarding its temp output and dropping its counters. Only the
+// winner's reduceResult is returned for the commit rename in Run.
+// The loser's measured cost is recorded as BackupCost — wasted work —
+// rather than joining AttemptCosts, which model a sequential retry
+// chain. If one attempt fails (injected fault, panic, timeout) the
+// survivor commits, making speculation an availability mechanism too;
+// the job fails only when both attempts do.
+func runReduceSpeculative(job *Job, r int, segments [][][]byte,
+	side map[string][]byte, track *outputTracker) (reduceResult, TaskMetrics, error) {
+
+	type outcome struct {
+		res     reduceResult
+		tm      TaskMetrics
+		err     error
+		attempt int
+	}
+	ch := make(chan outcome, 2)
+	for a := 1; a <= 2; a++ {
+		go func(attempt int) {
+			var o outcome
+			o.attempt = attempt
+			o.res, o.tm, o.err = runOneAttempt(job, ReducePhase, r, attempt,
+				func(attempt int) (reduceResult, TaskMetrics, error) {
+					return runReduceTask(job, r, attempt, segments, side, track)
+				})
+			if o.err == nil && job.FaultInjector != nil {
+				ref := TaskRef{Job: job.Name, Phase: ReducePhase, TaskID: r, Attempt: attempt}
+				if ferr := job.FaultInjector.AttemptFault(ref); ferr != nil {
+					o.err = fmt.Errorf("%s task %d attempt %d: %w", ReducePhase, r, attempt, ferr)
+				}
+			}
+			ch <- o
+		}(a)
+	}
+	winner, loser := <-ch, <-ch
+	if winner.err != nil && loser.err == nil {
+		winner, loser = loser, winner
+	}
+	// Kill the loser: remove its temp part file (whether it finished or
+	// failed) so only the winner's file survives to be renamed.
+	track.remove(job.FS, tempPartName(job.Output, r, loser.attempt))
+	if winner.err != nil {
+		track.remove(job.FS, tempPartName(job.Output, r, winner.attempt))
+		return reduceResult{}, TaskMetrics{},
+			fmt.Errorf("reduce task %d: both speculative attempts failed: %w", r, winner.err)
+	}
+	tm := winner.tm
+	tm.Attempts = 1
+	tm.AttemptCosts = []time.Duration{tm.Cost}
+	tm.Speculative = 1
+	if loser.err == nil {
+		tm.BackupCost = loser.tm.Cost
+	}
+	return winner.res, tm, nil
+}
