@@ -1,10 +1,11 @@
 # Developer entry points. `make tier1` is the gate every change must
-# pass: build + full test suite, vet, and the race detector over the
-# runtime packages (the engine and DFS run user code across goroutines).
+# pass: build + full test suite, vet, staticcheck (when installed), and
+# the race detector over the runtime packages (the engine and DFS run
+# user code across goroutines).
 
 GO ?= go
 
-.PHONY: all build test vet race tier1 bench
+.PHONY: all build test vet staticcheck race tier1 smoke bench
 
 all: tier1
 
@@ -17,10 +18,28 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when the binary is on PATH (CI installs it; local
+# environments without it skip with a note rather than failing).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./internal/mapreduce/... ./internal/dfs/...
 
-tier1: build test vet race
+tier1: build test vet staticcheck race
+
+# smoke runs the CLI end to end with tracing on the bundled example
+# data, leaving trace.jsonl / timeline.svg / metrics.json in smoke-out/.
+smoke:
+	@mkdir -p smoke-out
+	$(GO) run ./cmd/fuzzyjoin -in testdata/pubs.tsv -nodes 2 -replication 2 \
+		-node-fail 0 -speculative -trace -trace-out smoke-out -out smoke-out/pairs.txt
+	@test -s smoke-out/trace.jsonl && test -s smoke-out/timeline.svg && test -s smoke-out/metrics.json
+	@echo "smoke artifacts in smoke-out/"
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

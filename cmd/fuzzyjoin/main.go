@@ -17,9 +17,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fuzzyjoin"
@@ -51,11 +53,19 @@ func main() {
 		replication = flag.Int("replication", 1, "block replicas stored on distinct nodes (>= 2 survives a node death)")
 		nodeFail    = flag.Int("node-fail", -1, "kill this DFS node after the first job's map phase (-1 = none)")
 		speculative = flag.Bool("speculative", false, "race a backup attempt against every reduce task, committing the first to finish")
+
+		traceOn  = flag.Bool("trace", false, "collect a structured trace of the run and write trace.jsonl, timeline.svg, and metrics.json")
+		traceOut = flag.String("trace-out", "", "directory for the trace artifacts (implies -trace; default \"trace\" when -trace is set)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		*traceOn = true
+	} else if *traceOn {
+		*traceOut = "trace"
 	}
 
 	cfg, err := buildConfig(*tau, *fnName, *s1, *s2, *s3, *red, *par)
@@ -89,6 +99,9 @@ func main() {
 		cfg.NodeFailures = []fuzzyjoin.NodeFailure{{Barrier: fuzzyjoin.AfterMap, Node: *nodeFail}}
 	}
 	cfg.Speculative = *speculative
+	if *traceOn {
+		cfg.Trace = fuzzyjoin.NewTracer()
+	}
 	cfg.FS, cfg.Work = fs, "job"
 	if err := loadFile(fs, "R", *in); err != nil {
 		fatal(err)
@@ -139,6 +152,41 @@ func main() {
 			}
 		}
 	}
+
+	if *traceOn {
+		if err := writeTraceArtifacts(*traceOut, res, cfg.Combo(), *nodes); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fuzzyjoin: trace artifacts written to %s/\n", *traceOut)
+	}
+}
+
+// writeTraceArtifacts exports the run's observability bundle: the raw
+// event log (trace.jsonl), the simulated per-node timeline
+// (timeline.svg), and the schema-versioned metrics document
+// (metrics.json).
+func writeTraceArtifacts(dir string, res *fuzzyjoin.Result, combo string, nodes int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	if err := res.Trace.WriteJSONL(jf); err != nil {
+		return err
+	}
+	svg := fuzzyjoin.TimelineSVG(combo+" on "+fmt.Sprintf("%d node(s)", nodes),
+		fuzzyjoin.TimelineEvents(res, nodes))
+	if err := os.WriteFile(filepath.Join(dir, "timeline.svg"), []byte(svg), 0o644); err != nil {
+		return err
+	}
+	doc, err := json.MarshalIndent(res.Export(combo), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "metrics.json"), append(doc, '\n'), 0o644)
 }
 
 func buildConfig(tau float64, fnName, s1, s2, s3 string, reducers, par int) (fuzzyjoin.Config, error) {

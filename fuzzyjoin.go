@@ -134,18 +134,45 @@ const (
 	FieldRest    = records.FieldRest
 )
 
+// FSOption customizes a file system created by NewFS.
+type FSOption func(*dfs.Options)
+
+// Replication stores n copies of every block on distinct nodes
+// (HDFS-style). n ≥ 2 lets joins survive a node death mid-pipeline; see
+// Config.NodeFailures. The default is one replica per block.
+func Replication(n int) FSOption {
+	return func(o *dfs.Options) { o.Replication = n }
+}
+
+// AutoReReplicate re-replicates under-replicated blocks automatically
+// after a node failure (the namenode's background repair). It is off by
+// default; NewReplicatedFS enables it.
+func AutoReReplicate(on bool) FSOption {
+	return func(o *dfs.Options) { o.AutoReReplicate = on }
+}
+
 // NewFS creates a distributed file system spread over the given number of
-// virtual nodes, storing one replica per block.
-func NewFS(nodes int) *FS {
-	return dfs.New(dfs.Options{Nodes: nodes})
+// virtual nodes. With no options each block is stored once; pass
+// Replication and AutoReReplicate for an HDFS-style fault-tolerant
+// system:
+//
+//	fs := fuzzyjoin.NewFS(4, fuzzyjoin.Replication(2), fuzzyjoin.AutoReReplicate(true))
+func NewFS(nodes int, opts ...FSOption) *FS {
+	o := dfs.Options{Nodes: nodes}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return dfs.New(o)
 }
 
 // NewReplicatedFS creates a distributed file system storing `replication`
-// copies of every block on distinct nodes (HDFS-style), with automatic
-// re-replication after a node failure. Replication ≥ 2 lets joins survive
-// a node death mid-pipeline; see Config.NodeFailures.
+// copies of every block on distinct nodes, with automatic re-replication
+// after a node failure.
+//
+// Deprecated: Use NewFS with the Replication and AutoReReplicate
+// options instead.
 func NewReplicatedFS(nodes, replication int) *FS {
-	return dfs.New(dfs.Options{Nodes: nodes, Replication: replication, AutoReReplicate: true})
+	return NewFS(nodes, Replication(replication), AutoReReplicate(true))
 }
 
 // WriteRecords stores records as a Text-format DFS file joins can read.

@@ -95,7 +95,7 @@ func TestMakespanRetriedMapPaysLocality(t *testing.T) {
 		MapLocations:  [][]int{{0}},
 		MapInputBytes: []int64{0},
 	}
-	st := s.scheduleMaps(jc)
+	st := s.scheduleMaps(jc, nil)
 	if st.MapSpan != 2*time.Second {
 		t.Fatalf("map span = %v, want 2s (failed attempt + retry)", st.MapSpan)
 	}

@@ -93,6 +93,12 @@ type JobCost struct {
 	// SideBytes is the total broadcast (distributed-cache) volume each
 	// node must fetch once.
 	SideBytes int64
+	// ReduceBackups, when non-nil, records per reduce task the cost of a
+	// speculative backup attempt that lost the race (0 = no backup ran).
+	// Backups occupy a slot concurrently with the original, so they do
+	// not extend the reduce wave; the timeline renders them as wasted
+	// work.
+	ReduceBackups []time.Duration
 }
 
 // FromMetrics summarizes engine metrics into a schedulable JobCost.
@@ -125,6 +131,12 @@ func FromMetrics(m *mapreduce.Metrics) JobCost {
 			}
 			jc.ReduceAttempts[i] = append([]time.Duration(nil), t.AttemptCosts...)
 		}
+		if t.BackupCost > 0 {
+			if jc.ReduceBackups == nil {
+				jc.ReduceBackups = make([]time.Duration, len(m.ReduceTasks))
+			}
+			jc.ReduceBackups[i] = t.BackupCost
+		}
 	}
 	return jc
 }
@@ -148,6 +160,13 @@ type ScheduleStats struct {
 	MapSpan time.Duration
 }
 
+// placement is an optional scheduler callback recording where and when
+// one attempt ran: task and attempt are the engine's IDs (attempt is
+// 1-based), slot the flat slot index, start/end the attempt's interval
+// in the wave's local time. Recording does not perturb the schedule —
+// Makespan and Timeline see identical placements.
+type placement func(task, attempt, slot int, start, end time.Duration)
+
 // scheduleMaps places map tasks LPT-style with locality preference, the
 // behaviour of Hadoop's scheduler: a task runs on a node holding its
 // split when that doesn't delay it beyond the cost of fetching the split
@@ -158,19 +177,20 @@ type ScheduleStats struct {
 // slot is best at that point — it cannot start before the failure was
 // detected, so re-executed work serializes within the task while other
 // tasks fill the freed capacity.
-func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
+func (s Spec) scheduleMaps(jc JobCost, rec placement) ScheduleStats {
 	slots := s.Nodes * s.MapSlotsPerNode
 	if slots < 1 {
 		slots = 1
 	}
 	type task struct {
+		id       int
 		attempts []time.Duration
 		penalty  time.Duration
 		locs     []int
 	}
 	tasks := make([]task, len(jc.MapCosts))
 	for i, c := range jc.MapCosts {
-		var t task
+		t := task{id: i}
 		for _, a := range attemptChain(jc.MapAttempts, i, c) {
 			t.attempts = append(t.attempts, a+s.TaskOverhead)
 		}
@@ -184,7 +204,7 @@ func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 	}
 	// LPT order by first-attempt demand: the scheduler is failure-blind
 	// and cannot sort by work it doesn't know will be re-executed.
-	sort.Slice(tasks, func(i, j int) bool { return tasks[i].attempts[0] > tasks[j].attempts[0] })
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].attempts[0] > tasks[j].attempts[0] })
 
 	loads := make([]time.Duration, slots)
 	var st ScheduleStats
@@ -192,17 +212,24 @@ func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 	// placeAttempt runs one attempt no earlier than ready, preferring a
 	// slot local to the split unless waiting for one costs more than the
 	// remote read, and returns the finish time.
-	placeAttempt := func(t task, cost, ready time.Duration) time.Duration {
+	placeAttempt := func(t task, attemptNo int, cost, ready time.Duration) time.Duration {
 		bestAny := 0
 		for sl := 1; sl < slots; sl++ {
 			if maxDur(loads[sl], ready) < maxDur(loads[bestAny], ready) {
 				bestAny = sl
 			}
 		}
+		commit := func(sl int, total time.Duration) time.Duration {
+			start := maxDur(loads[sl], ready)
+			loads[sl] = start + total
+			if rec != nil {
+				rec(t.id, attemptNo, sl, start, loads[sl])
+			}
+			return loads[sl]
+		}
 		if len(t.locs) == 0 {
-			loads[bestAny] = maxDur(loads[bestAny], ready) + cost
 			st.LocalMaps++
-			return loads[bestAny]
+			return commit(bestAny, cost)
 		}
 		bestLocal := -1
 		for sl := 0; sl < slots; sl++ {
@@ -218,13 +245,11 @@ func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 			}
 		}
 		if bestLocal >= 0 && maxDur(loads[bestLocal], ready) <= maxDur(loads[bestAny], ready)+t.penalty {
-			loads[bestLocal] = maxDur(loads[bestLocal], ready) + cost
 			st.LocalMaps++
-			return loads[bestLocal]
+			return commit(bestLocal, cost)
 		}
-		loads[bestAny] = maxDur(loads[bestAny], ready) + cost + t.penalty
 		st.RemoteMaps++
-		return loads[bestAny]
+		return commit(bestAny, cost+t.penalty)
 	}
 
 	// First attempts place exactly like plain LPT; retries dispatch at
@@ -236,7 +261,7 @@ func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 	}
 	var retries []retry
 	for _, t := range tasks {
-		end := placeAttempt(t, t.attempts[0], 0)
+		end := placeAttempt(t, 1, t.attempts[0], 0)
 		if len(t.attempts) > 1 {
 			retries = append(retries, retry{t: t, ready: end, next: 1})
 		}
@@ -245,7 +270,7 @@ func (s Spec) scheduleMaps(jc JobCost) ScheduleStats {
 		sort.SliceStable(retries, func(i, j int) bool { return retries[i].ready < retries[j].ready })
 		r := retries[0]
 		retries = retries[1:]
-		end := placeAttempt(r.t, r.t.attempts[r.next], r.ready)
+		end := placeAttempt(r.t, r.next+1, r.t.attempts[r.next], r.ready)
 		if r.next+1 < len(r.t.attempts) {
 			retries = append(retries, retry{t: r.t, ready: end, next: r.next + 1})
 		}
@@ -284,6 +309,10 @@ func LPT(tasks []time.Duration, slots int) time.Duration {
 // that can start it earliest. Single-attempt chains make this identical
 // to LPT.
 func LPTAttempts(tasks [][]time.Duration, slots int) time.Duration {
+	return lptAttempts(tasks, slots, nil)
+}
+
+func lptAttempts(tasks [][]time.Duration, slots int, rec placement) time.Duration {
 	if len(tasks) == 0 {
 		return 0
 	}
@@ -306,8 +335,10 @@ func LPTAttempts(tasks [][]time.Duration, slots int) time.Duration {
 
 	loads := make([]time.Duration, slots)
 	type retry struct {
-		ready time.Duration // when the previous attempt failed
-		rest  []time.Duration
+		id      int
+		attempt int           // 1-based attempt number of rest[0]
+		ready   time.Duration // when the previous attempt failed
+		rest    []time.Duration
 	}
 	var retries []retry
 	for _, i := range order {
@@ -321,9 +352,12 @@ func LPTAttempts(tasks [][]time.Duration, slots int) time.Duration {
 				min = s
 			}
 		}
+		if rec != nil {
+			rec(i, 1, min, loads[min], loads[min]+chain[0])
+		}
 		loads[min] += chain[0]
 		if len(chain) > 1 {
-			retries = append(retries, retry{ready: loads[min], rest: chain[1:]})
+			retries = append(retries, retry{id: i, attempt: 2, ready: loads[min], rest: chain[1:]})
 		}
 	}
 	// Dispatch retries in failure order; each takes the slot where it can
@@ -338,9 +372,13 @@ func LPTAttempts(tasks [][]time.Duration, slots int) time.Duration {
 				best = s
 			}
 		}
-		loads[best] = maxDur(loads[best], r.ready) + r.rest[0]
+		start := maxDur(loads[best], r.ready)
+		if rec != nil {
+			rec(r.id, r.attempt, best, start, start+r.rest[0])
+		}
+		loads[best] = start + r.rest[0]
 		if len(r.rest) > 1 {
-			retries = append(retries, retry{ready: loads[best], rest: r.rest[1:]})
+			retries = append(retries, retry{id: r.id, attempt: r.attempt + 1, ready: loads[best], rest: r.rest[1:]})
 		}
 	}
 	var makespan time.Duration
@@ -352,6 +390,38 @@ func LPTAttempts(tasks [][]time.Duration, slots int) time.Duration {
 	return makespan
 }
 
+// broadcastTime is the side-file broadcast cost: every node fetches the
+// side files in parallel; the wall time is one node's fetch — constant
+// in N, linear in the side data.
+func (s Spec) broadcastTime(jc JobCost) time.Duration {
+	if jc.SideBytes <= 0 || s.NetBytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(jc.SideBytes) / s.NetBytesPerSec * float64(time.Second))
+}
+
+// reduceFetch is reduce task i's shuffle-fetch time.
+func (s Spec) reduceFetch(jc JobCost, i int) time.Duration {
+	if i >= len(jc.ShufflePerReduce) || s.NetBytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(jc.ShufflePerReduce[i]) / s.NetBytesPerSec * float64(time.Second))
+}
+
+// reduceChains builds the schedulable attempt chains of the reduce
+// wave. Every attempt — failed ones included — pays the shuffle fetch
+// and task launch again, as a re-executed reducer does on Hadoop.
+func (s Spec) reduceChains(jc JobCost) [][]time.Duration {
+	reduceTasks := make([][]time.Duration, len(jc.ReduceCosts))
+	for i, c := range jc.ReduceCosts {
+		fetch := s.reduceFetch(jc, i)
+		for _, a := range attemptChain(jc.ReduceAttempts, i, c) {
+			reduceTasks[i] = append(reduceTasks[i], a+fetch+s.TaskOverhead)
+		}
+	}
+	return reduceTasks
+}
+
 // Makespan computes the simulated wall-clock time of one job on the
 // cluster.
 func (s Spec) Makespan(jc JobCost) time.Duration {
@@ -361,30 +431,9 @@ func (s Spec) Makespan(jc JobCost) time.Duration {
 	if s.MapSlotsPerNode < 1 {
 		s.MapSlotsPerNode = 1
 	}
-	mapSpan := s.scheduleMaps(jc).MapSpan
-
-	var broadcast time.Duration
-	if jc.SideBytes > 0 && s.NetBytesPerSec > 0 {
-		// Every node fetches the side files in parallel; the wall time is
-		// one node's fetch — constant in N, linear in the side data.
-		broadcast = time.Duration(float64(jc.SideBytes) / s.NetBytesPerSec * float64(time.Second))
-	}
-
-	reduceTasks := make([][]time.Duration, len(jc.ReduceCosts))
-	for i, c := range jc.ReduceCosts {
-		fetch := time.Duration(0)
-		if i < len(jc.ShufflePerReduce) && s.NetBytesPerSec > 0 {
-			fetch = time.Duration(float64(jc.ShufflePerReduce[i]) / s.NetBytesPerSec * float64(time.Second))
-		}
-		// Every attempt — failed ones included — pays the shuffle fetch
-		// and task launch again, as a re-executed reducer does on Hadoop.
-		for _, a := range attemptChain(jc.ReduceAttempts, i, c) {
-			reduceTasks[i] = append(reduceTasks[i], a+fetch+s.TaskOverhead)
-		}
-	}
-	reduceSpan := LPTAttempts(reduceTasks, s.Nodes*s.ReduceSlotsPerNode)
-
-	return s.JobOverhead + broadcast + mapSpan + reduceSpan
+	mapSpan := s.scheduleMaps(jc, nil).MapSpan
+	reduceSpan := LPTAttempts(s.reduceChains(jc), s.Nodes*s.ReduceSlotsPerNode)
+	return s.JobOverhead + s.broadcastTime(jc) + mapSpan + reduceSpan
 }
 
 // FlowMakespan sums the makespans of a sequence of dependent jobs (the

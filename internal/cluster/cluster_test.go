@@ -237,7 +237,7 @@ func TestLocalitySchedulingPrefersReplicaNodes(t *testing.T) {
 		jc.MapLocations = append(jc.MapLocations, []int{i % 4})
 		jc.MapInputBytes = append(jc.MapInputBytes, 32<<20) // 1 s remote read
 	}
-	st := s.scheduleMaps(jc)
+	st := s.scheduleMaps(jc, nil)
 	if st.RemoteMaps != 0 {
 		t.Fatalf("remote maps = %d, want 0 (%+v)", st.RemoteMaps, st)
 	}
@@ -256,7 +256,7 @@ func TestLocalityPenaltyChargedWhenForcedRemote(t *testing.T) {
 		jc.MapLocations = append(jc.MapLocations, []int{0})
 		jc.MapInputBytes = append(jc.MapInputBytes, 320<<10) // 10 ms remote read
 	}
-	st := s.scheduleMaps(jc)
+	st := s.scheduleMaps(jc, nil)
 	if st.RemoteMaps == 0 {
 		t.Fatal("expected some remote maps when one node holds all splits")
 	}
@@ -275,7 +275,7 @@ func TestLocalityHotNodeQueuesWhenRemoteIsDear(t *testing.T) {
 		jc.MapLocations = append(jc.MapLocations, []int{0})
 		jc.MapInputBytes = append(jc.MapInputBytes, 32<<20) // 1 s remote read
 	}
-	st := s.scheduleMaps(jc)
+	st := s.scheduleMaps(jc, nil)
 	// Remote read (1 s) dwarfs queueing (2 waves × 10 ms): everything
 	// stays local on node 0.
 	if st.RemoteMaps != 0 {
@@ -294,7 +294,7 @@ func TestNoLocationsBehavesAsBefore(t *testing.T) {
 	for i, c := range tasks {
 		withOverhead[i] = c + s.TaskOverhead
 	}
-	if got, want := s.scheduleMaps(jc).MapSpan, LPT(withOverhead, 8); got != want {
+	if got, want := s.scheduleMaps(jc, nil).MapSpan, LPT(withOverhead, 8); got != want {
 		t.Fatalf("span without locations = %v, want plain LPT %v", got, want)
 	}
 }

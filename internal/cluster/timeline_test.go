@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fuzzyjoin/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedSelfJoinFlow is a deterministic 2-node self-join flow: the three
+// pipeline stages as synthetic JobCosts with fixed costs, one map retry
+// chain, one reduce retry chain, and one speculative backup — every
+// span kind the timeline renders.
+func fixedSelfJoinFlow() []JobCost {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []JobCost{
+		{
+			Name:     "s1-bto-count",
+			MapCosts: []time.Duration{ms(8), ms(6), ms(7), ms(5)},
+			// Task 1 fails once and is re-executed.
+			MapAttempts:      [][]time.Duration{nil, {ms(3), ms(6)}, nil, nil},
+			ReduceCosts:      []time.Duration{ms(4), ms(5)},
+			ShufflePerReduce: []int64{64 << 10, 96 << 10},
+		},
+		{
+			Name:             "s2-pk-self",
+			MapCosts:         []time.Duration{ms(12), ms(11), ms(13), ms(10)},
+			ReduceCosts:      []time.Duration{ms(9), ms(14)},
+			ReduceAttempts:   [][]time.Duration{{ms(4), ms(9)}, nil},
+			ReduceBackups:    []time.Duration{0, ms(6)},
+			ShufflePerReduce: []int64{128 << 10, 256 << 10},
+			SideBytes:        32 << 10,
+		},
+		{
+			Name:             "s3-brj-1",
+			MapCosts:         []time.Duration{ms(6), ms(6)},
+			ReduceCosts:      []time.Duration{ms(7), ms(3)},
+			ShufflePerReduce: []int64{64 << 10, 32 << 10},
+		},
+	}
+}
+
+// TestTimelineMatchesMakespan: the timeline's clock must agree with the
+// flow makespan — the latest span end plus nothing, since every job's
+// waves end inside its makespan.
+func TestTimelineMatchesMakespan(t *testing.T) {
+	s := Default(2)
+	jobs := fixedSelfJoinFlow()
+	events := s.Timeline(jobs, nil)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	var latest time.Duration
+	spans := 0
+	for _, e := range events {
+		if e.Type != trace.TaskSpan {
+			continue
+		}
+		spans++
+		if end := time.Duration(e.End); end > latest {
+			latest = end
+		}
+		if e.End <= e.Start {
+			t.Errorf("span %+v: empty interval", e)
+		}
+		if e.Node < 0 || e.Node >= s.Nodes {
+			t.Errorf("span %+v: node out of range", e)
+		}
+	}
+	// One span per attempt plus one backup: (4+1)+(2)+(4)+(2+1)+1+(2)+(2).
+	wantSpans := 5 + 2 + 4 + 3 + 1 + 2 + 2
+	if spans != wantSpans {
+		t.Errorf("spans = %d, want %d", spans, wantSpans)
+	}
+	total := s.FlowMakespan(jobs)
+	if latest > total {
+		t.Fatalf("latest span end %v exceeds flow makespan %v", latest, total)
+	}
+	// The last job ends with its reduce wave, so the latest span end IS
+	// the flow makespan.
+	if latest != total {
+		t.Fatalf("latest span end %v != flow makespan %v", latest, total)
+	}
+}
+
+// TestTimelineKinds: retries render as reruns, the speculative loser as
+// a backup, and engine node events translate to simulated instants.
+func TestTimelineKinds(t *testing.T) {
+	s := Default(2)
+	engine := []trace.Event{
+		{Type: trace.NodeDown, Job: "s1-bto-count", Node: 1, Detail: "after-map", T: 123456789},
+		{Type: trace.NodeUp, Job: "s3-brj-1", Node: 1, Detail: "before-map", T: 987654321},
+		{Type: trace.JobStart, Job: "s2-pk-self"}, // ignored
+	}
+	events := s.Timeline(fixedSelfJoinFlow(), engine)
+	count := map[string]int{}
+	var down, up *trace.Event
+	for i, e := range events {
+		switch e.Type {
+		case trace.TaskSpan:
+			count[e.Kind]++
+		case trace.NodeDown:
+			down = &events[i]
+		case trace.NodeUp:
+			up = &events[i]
+		}
+	}
+	if count[trace.KindRun] == 0 || count[trace.KindRerun] != 2 || count[trace.KindBackup] != 1 {
+		t.Fatalf("kind counts = %v, want runs>0, 2 reruns, 1 backup", count)
+	}
+	if down == nil || up == nil {
+		t.Fatal("node events not carried into the timeline")
+	}
+	// The marks must be in simulated time now, not host time.
+	if down.Start == 123456789 || down.Start <= 0 {
+		t.Fatalf("node-down at %d, want simulated instant", down.Start)
+	}
+	if up.Start <= down.Start {
+		t.Fatalf("node-up (%d) not after node-down (%d): s3 starts after s1's map wave", up.Start, down.Start)
+	}
+}
+
+// TestTimelineGoldenSVG locks the rendered timeline of the fixed flow.
+// Regenerate with: go test ./internal/cluster -run Golden -update
+func TestTimelineGoldenSVG(t *testing.T) {
+	s := Default(2)
+	engine := []trace.Event{
+		{Type: trace.NodeDown, Job: "s2-pk-self", Node: 1, Detail: "after-map", T: 1},
+	}
+	events := s.Timeline(fixedSelfJoinFlow(), engine)
+	svg := trace.TimelineSVG("fixed 2-node self-join", events)
+
+	golden := filepath.Join("testdata", "timeline_golden.svg")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(svg), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if svg != string(want) {
+		t.Fatalf("timeline SVG deviates from %s (run with -update after intended changes)", golden)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fuzzyjoin/internal/records"
 	"fuzzyjoin/internal/simfn"
 	"fuzzyjoin/internal/tokenize"
+	"fuzzyjoin/internal/trace"
 )
 
 // TokenOrderAlg selects the Stage 1 algorithm.
@@ -214,14 +215,18 @@ type Config struct {
 	// every job (Hadoop's speculative execution); exactly one attempt
 	// per task commits.
 	Speculative bool
+	// Trace, when non-nil, receives typed events from every job the
+	// pipeline runs plus flow- and stage-level markers; the collected
+	// trace is returned on Result.Trace. Nil disables tracing at zero
+	// cost and leaves the join output byte-identical.
+	Trace *trace.Tracer
 }
 
+// fillDefaults validates the Config (see Validate) and then replaces
+// zero values with the paper's defaults.
 func (c *Config) fillDefaults() error {
-	if c.FS == nil {
-		return fmt.Errorf("core: Config.FS is required")
-	}
-	if c.Work == "" {
-		return fmt.Errorf("core: Config.Work is required")
+	if err := c.Validate(); err != nil {
+		return err
 	}
 	if c.Tokenizer == nil {
 		c.Tokenizer = tokenize.Word{}
@@ -229,12 +234,8 @@ func (c *Config) fillDefaults() error {
 	if len(c.JoinFields) == 0 {
 		c.JoinFields = []int{records.FieldTitle, records.FieldAuthors}
 	}
-	if c.Threshold <= 0 || c.Threshold > 1 {
-		if c.Threshold == 0 {
-			c.Threshold = 0.8
-		} else {
-			return fmt.Errorf("core: threshold %v out of (0, 1]", c.Threshold)
-		}
+	if c.Threshold == 0 {
+		c.Threshold = 0.8
 	}
 	if c.Filters == nil {
 		all := filter.AllFilters
@@ -243,20 +244,6 @@ func (c *Config) fillDefaults() error {
 	if c.NumReducers <= 0 {
 		c.NumReducers = 4
 	}
-	if c.BlockMode != NoBlocks {
-		if c.Kernel != BK {
-			return fmt.Errorf("core: block processing applies to the BK kernel only")
-		}
-		if c.NumBlocks < 2 {
-			return fmt.Errorf("core: NumBlocks must be at least 2 with block processing")
-		}
-		if c.LengthRouting {
-			return fmt.Errorf("core: LengthRouting and BlockMode are alternative §5 strategies; enable one")
-		}
-	}
-	if c.LengthRouting && c.Kernel != BK {
-		return fmt.Errorf("core: LengthRouting applies to the BK kernel only")
-	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = 1
 	}
@@ -264,30 +251,36 @@ func (c *Config) fillDefaults() error {
 }
 
 // StageMetrics collects the engine metrics of the jobs one stage ran.
+// The JSON tags are schema-stable (versioned by trace.SchemaVersion).
 type StageMetrics struct {
 	// Stage is 1, 2, or 3.
-	Stage int
+	Stage int `json:"stage"`
 	// Alg names the algorithm used (BTO, PK, ...).
-	Alg string
+	Alg string `json:"alg"`
 	// Jobs holds one Metrics per MapReduce job, in execution order.
-	Jobs []*mapreduce.Metrics
+	Jobs []*mapreduce.Metrics `json:"jobs"`
 	// Wall is the measured host execution time of the stage.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 }
 
-// Result describes a completed end-to-end join.
+// Result describes a completed end-to-end join. The JSON tags are
+// schema-stable (versioned by trace.SchemaVersion); Trace is exported
+// separately as JSONL, not embedded in the metrics document.
 type Result struct {
 	// Output is the DFS prefix of the final joined-record part files
 	// (Text format, one records.JoinedPair per line).
-	Output string
+	Output string `json:"output"`
 	// RIDPairs is the DFS prefix of Stage 2's RID-pair part files.
-	RIDPairs string
+	RIDPairs string `json:"rid_pairs"`
 	// TokenOrderFile is the Stage 1 output consumed by Stage 2.
-	TokenOrderFile string
+	TokenOrderFile string `json:"token_order_file"`
 	// Stages holds per-stage metrics: Stages[0] is Stage 1, etc.
-	Stages [3]StageMetrics
+	Stages [3]StageMetrics `json:"stages"`
 	// Pairs is the number of joined pairs produced (after dedup).
-	Pairs int64
+	Pairs int64 `json:"pairs"`
+	// Trace is the collected trace when Config.Trace was set (nil
+	// otherwise).
+	Trace *trace.Trace `json:"-"`
 }
 
 // Combo renders the algorithm combination the way the paper does, e.g.

@@ -1,0 +1,22 @@
+package core
+
+import "fuzzyjoin/internal/trace"
+
+// MetricsExport is the top-level machine-readable metrics document the
+// CLIs write as metrics.json. Schema pins the layout version (shared
+// with the trace JSONL format); every field reachable from Result via
+// JSON tags is schema-stable: fields may be added in later schema
+// versions but existing tags keep their names and meanings.
+type MetricsExport struct {
+	// Schema is trace.SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// Combo names the algorithm combination, e.g. "BTO-PK-OPRJ".
+	Combo string `json:"combo"`
+	// Result is the full join result with per-stage, per-job metrics.
+	Result *Result `json:"result"`
+}
+
+// Export wraps the result in a versioned MetricsExport envelope.
+func (r *Result) Export(combo string) MetricsExport {
+	return MetricsExport{Schema: trace.SchemaVersion, Combo: combo, Result: r}
+}

@@ -5,7 +5,22 @@ import (
 	"time"
 
 	"fuzzyjoin/internal/mapreduce"
+	"fuzzyjoin/internal/trace"
 )
+
+// traceFlow emits a flow-level marker (FlowStart/FlowEnd) when tracing.
+func traceFlow(cfg *Config, typ trace.EventType, flow string, detail string) {
+	if cfg.Trace.Enabled() {
+		cfg.Trace.Emit(trace.Event{Type: typ, Flow: flow, Detail: detail})
+	}
+}
+
+// traceStage emits a stage-level marker (StageStart/StageEnd).
+func traceStage(cfg *Config, typ trace.EventType, stage int, alg string) {
+	if cfg.Trace.Enabled() {
+		cfg.Trace.Emit(trace.Event{Type: typ, Stage: stage, Detail: alg})
+	}
+}
 
 // SelfJoin runs the end-to-end set-similarity self-join of the records in
 // input (a Text-format DFS file, one record line per row): Stage 1 orders
@@ -20,31 +35,40 @@ func SelfJoin(cfg Config, input string) (*Result, error) {
 		return nil, fmt.Errorf("core: input %q does not exist", input)
 	}
 	res := &Result{}
+	traceFlow(&cfg, trace.FlowStart, "self-join", cfg.Combo())
 
 	start := time.Now()
+	traceStage(&cfg, trace.StageStart, 1, cfg.TokenOrder.String())
 	tokenFile, m1, err := runStage1(&cfg, input, cfg.Work)
 	if err != nil {
 		return nil, fmt.Errorf("stage 1 (%s): %w", cfg.TokenOrder, err)
 	}
+	traceStage(&cfg, trace.StageEnd, 1, cfg.TokenOrder.String())
 	res.TokenOrderFile = tokenFile
 	res.Stages[0] = StageMetrics{Stage: 1, Alg: cfg.TokenOrder.String(), Jobs: m1, Wall: time.Since(start)}
 
 	start = time.Now()
+	traceStage(&cfg, trace.StageStart, 2, cfg.Kernel.String())
 	pairs, m2, err := runStage2Self(&cfg, input, tokenFile, cfg.Work)
 	if err != nil {
 		return nil, fmt.Errorf("stage 2 (%s): %w", cfg.Kernel, err)
 	}
+	traceStage(&cfg, trace.StageEnd, 2, cfg.Kernel.String())
 	res.RIDPairs = pairs
 	res.Stages[1] = StageMetrics{Stage: 2, Alg: cfg.Kernel.String(), Jobs: m2, Wall: time.Since(start)}
 
 	start = time.Now()
+	traceStage(&cfg, trace.StageStart, 3, cfg.RecordJoin.String())
 	out, m3, err := runStage3(&cfg, []string{input}, func(string) byte { return relR }, false, pairs, cfg.Work)
 	if err != nil {
 		return nil, fmt.Errorf("stage 3 (%s): %w", cfg.RecordJoin, err)
 	}
+	traceStage(&cfg, trace.StageEnd, 3, cfg.RecordJoin.String())
 	res.Output = out
 	res.Stages[2] = StageMetrics{Stage: 3, Alg: cfg.RecordJoin.String(), Jobs: m3, Wall: time.Since(start)}
 	res.Pairs = stagePairCount(m3)
+	traceFlow(&cfg, trace.FlowEnd, "self-join", cfg.Combo())
+	res.Trace = cfg.Trace.Snapshot()
 	return res, nil
 }
 
@@ -65,24 +89,30 @@ func RSJoin(cfg Config, inputR, inputS string) (*Result, error) {
 		return nil, fmt.Errorf("core: R-S join requires distinct inputs; use SelfJoin for %q", inputR)
 	}
 	res := &Result{}
+	traceFlow(&cfg, trace.FlowStart, "rs-join", cfg.Combo())
 
 	start := time.Now()
+	traceStage(&cfg, trace.StageStart, 1, cfg.TokenOrder.String())
 	tokenFile, m1, err := runStage1(&cfg, inputR, cfg.Work)
 	if err != nil {
 		return nil, fmt.Errorf("stage 1 (%s): %w", cfg.TokenOrder, err)
 	}
+	traceStage(&cfg, trace.StageEnd, 1, cfg.TokenOrder.String())
 	res.TokenOrderFile = tokenFile
 	res.Stages[0] = StageMetrics{Stage: 1, Alg: cfg.TokenOrder.String(), Jobs: m1, Wall: time.Since(start)}
 
 	start = time.Now()
+	traceStage(&cfg, trace.StageStart, 2, cfg.Kernel.String())
 	pairs, m2, err := runStage2RS(&cfg, inputR, inputS, tokenFile, cfg.Work)
 	if err != nil {
 		return nil, fmt.Errorf("stage 2 (%s): %w", cfg.Kernel, err)
 	}
+	traceStage(&cfg, trace.StageEnd, 2, cfg.Kernel.String())
 	res.RIDPairs = pairs
 	res.Stages[1] = StageMetrics{Stage: 2, Alg: cfg.Kernel.String(), Jobs: m2, Wall: time.Since(start)}
 
 	start = time.Now()
+	traceStage(&cfg, trace.StageStart, 3, cfg.RecordJoin.String())
 	relOf := func(file string) byte {
 		if file == inputR {
 			return relR
@@ -93,9 +123,12 @@ func RSJoin(cfg Config, inputR, inputS string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stage 3 (%s): %w", cfg.RecordJoin, err)
 	}
+	traceStage(&cfg, trace.StageEnd, 3, cfg.RecordJoin.String())
 	res.Output = out
 	res.Stages[2] = StageMetrics{Stage: 3, Alg: cfg.RecordJoin.String(), Jobs: m3, Wall: time.Since(start)}
 	res.Pairs = stagePairCount(m3)
+	traceFlow(&cfg, trace.FlowEnd, "rs-join", cfg.Combo())
+	res.Trace = cfg.Trace.Snapshot()
 	return res, nil
 }
 

@@ -207,6 +207,7 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("carry-records kernel: %w", err)
@@ -232,6 +233,7 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dedup: %w", err)

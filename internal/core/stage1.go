@@ -104,6 +104,7 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return "", nil, err
@@ -127,6 +128,7 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return "", nil, err
@@ -209,6 +211,7 @@ func runOPTO(cfg *Config, input string, work string) (tokenFile string, ms []*ma
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return "", nil, err

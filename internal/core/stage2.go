@@ -385,6 +385,7 @@ func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapre
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	}
 	switch cfg.Kernel {
 	case PK:
@@ -433,6 +434,7 @@ func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, [
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	}
 	if cfg.Kernel == PK {
 		job.Reducer = &pkRSReducer{cfg: cfg}

@@ -419,6 +419,7 @@ func runStage2SelfBlocked(cfg *Config, input, tokenFile, work string) (string, [
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	}
 	if cfg.BlockMode == MapBlocks {
 		job.Reducer = &mapBlockedSelfReducer{cfg: cfg}

@@ -287,6 +287,7 @@ func runStage2RSBlocked(cfg *Config, inputR, inputS, tokenFile, work string) (st
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	}
 	if cfg.BlockMode == MapBlocks {
 		job.Reducer = &mapBlockedRSReducer{cfg: cfg}

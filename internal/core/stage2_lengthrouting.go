@@ -177,6 +177,7 @@ func runStage2SelfLengthRouted(cfg *Config, input, tokenFile, work string) (stri
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	}
 	m, err := mapreduce.Run(job)
 	if err != nil {
@@ -327,6 +328,7 @@ func runStage2RSLengthRouted(cfg *Config, inputR, inputS, tokenFile, work string
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	}
 	m, err := mapreduce.Run(job)
 	if err != nil {

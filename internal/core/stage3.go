@@ -221,6 +221,7 @@ func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return "", nil, err
@@ -244,6 +245,7 @@ func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return "", nil, err
@@ -360,6 +362,7 @@ func runOPRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs boo
 		FaultInjector:   cfg.FaultInjector,
 		NodeFailures:    cfg.NodeFailures,
 		Speculative:     cfg.Speculative,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return "", nil, err

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/trace"
 )
 
 // This file implements the task-attempt model: each map/reduce task runs
@@ -209,6 +210,10 @@ func runTaskAttempts[T any](job *Job, phase Phase, taskID int,
 		if delay := job.Retry.backoffDelay(job.Name, phase, taskID, attempt); delay > 0 {
 			time.Sleep(delay)
 		}
+		if job.Trace.Enabled() {
+			job.Trace.Emit(trace.Event{Type: trace.AttemptStart, Job: job.Name,
+				Phase: string(phase), Task: taskID, Attempt: attempt})
+		}
 		start := time.Now()
 		res, tm, err := runOneAttempt(job, phase, taskID, attempt, run)
 		cost := time.Since(start)
@@ -225,9 +230,17 @@ func runTaskAttempts[T any](job *Job, phase Phase, taskID int,
 		if err == nil {
 			tm.Attempts = attempt
 			tm.AttemptCosts = attemptCosts
+			if job.Trace.Enabled() {
+				job.Trace.Emit(attemptEndEvent(job.Name, phase, taskID, attempt, tm))
+			}
 			return res, tm, nil
 		}
 		lastErr = err
+		if job.Trace.Enabled() {
+			job.Trace.Emit(trace.Event{Type: trace.AttemptFail, Job: job.Name,
+				Phase: string(phase), Task: taskID, Attempt: attempt,
+				Cost: int64(tm.Cost), Err: err.Error()})
+		}
 		if discard != nil {
 			discard(attempt)
 		}
@@ -240,6 +253,18 @@ func runTaskAttempts[T any](job *Job, phase Phase, taskID int,
 		}
 	}
 	return zero, TaskMetrics{}, fmt.Errorf("after %d attempt(s): %w", max, lastErr)
+}
+
+// attemptEndEvent builds the committed-attempt event from the attempt's
+// metrics: cost, data volumes, and spill activity.
+func attemptEndEvent(job string, phase Phase, taskID, attempt int, tm TaskMetrics) trace.Event {
+	return trace.Event{
+		Type: trace.AttemptEnd, Job: job, Phase: string(phase), Task: taskID, Attempt: attempt,
+		Cost:   int64(tm.Cost),
+		InRecs: tm.InputRecords, InBytes: tm.InputBytes,
+		OutRecs: tm.OutputRecords, OutBytes: tm.OutputBytes,
+		SpillCount: tm.SpillCount, SpillBytes: tm.SpillBytes,
+	}
 }
 
 // runOneAttempt executes one attempt body, recovering panics into errors

@@ -33,6 +33,7 @@ import (
 
 	"fuzzyjoin/internal/dfs"
 	"fuzzyjoin/internal/keys"
+	"fuzzyjoin/internal/trace"
 )
 
 // Pair is one (key, value) record flowing through the engine.
@@ -226,6 +227,12 @@ type Job struct {
 	// commits, the loser's temp output is discarded and its counters
 	// dropped, so exactly one attempt's effects reach the job output.
 	Speculative bool
+	// Trace, when non-nil, receives typed events for everything the job
+	// does: job/phase boundaries, every task attempt with its cost and
+	// data volumes, retries, speculation outcomes, node failures, and
+	// lost-output recomputation. nil disables tracing at zero cost; the
+	// job's output is byte-identical either way.
+	Trace *trace.Tracer
 }
 
 // spillEmitter triggers a spill when the buffered pair count reaches the
@@ -374,63 +381,74 @@ func (c *Counters) Snapshot() map[string]int64 {
 }
 
 // TaskMetrics records one task's work, consumed by the cluster simulator.
+//
+// The JSON field names are schema-stable (versioned by
+// trace.SchemaVersion): cost_ns, in_recs, in_bytes, out_recs,
+// out_bytes, attempts. The remaining fields serialize with the tags
+// below but may gain siblings in later schema versions. Durations are
+// nanoseconds.
 type TaskMetrics struct {
 	// Cost is the measured execution time of the task body.
-	Cost time.Duration
+	Cost time.Duration `json:"cost_ns"`
 	// InputRecords and InputBytes describe the task's input.
-	InputRecords, InputBytes int64
+	InputRecords int64 `json:"in_recs"`
+	InputBytes   int64 `json:"in_bytes"`
 	// OutputRecords and OutputBytes describe the task's output (for map
 	// tasks: after combining).
-	OutputRecords, OutputBytes int64
+	OutputRecords int64 `json:"out_recs"`
+	OutputBytes   int64 `json:"out_bytes"`
 	// PartitionBytes (map tasks only) is the bytes destined to each
 	// reducer — the shuffle traffic matrix row.
-	PartitionBytes []int64
+	PartitionBytes []int64 `json:"partition_bytes,omitempty"`
 	// Locations (map tasks only) lists the virtual nodes holding the
 	// task's input split (for locality-aware scheduling in the cluster
 	// simulator).
-	Locations []int
+	Locations []int `json:"locations,omitempty"`
 	// PeakMemory is the task's budget high-water mark.
-	PeakMemory int64
+	PeakMemory int64 `json:"peak_memory,omitempty"`
 	// SpillCount and SpillBytes describe map-side spills (zero when the
 	// whole output fit in memory).
-	SpillCount int
-	SpillBytes int64
+	SpillCount int   `json:"spills,omitempty"`
+	SpillBytes int64 `json:"spill_bytes,omitempty"`
 	// Attempts is how many attempts this task ran (1 = no retries).
-	Attempts int
+	Attempts int `json:"attempts"`
 	// AttemptCosts is every attempt's measured cost in order; the last
 	// entry is the committed attempt's cost (== Cost). The cluster
 	// simulator charges the failed attempts into the makespan.
-	AttemptCosts []time.Duration
+	AttemptCosts []time.Duration `json:"attempt_costs_ns,omitempty"`
 	// OutputNode (map tasks only) is the node the committed attempt's
 	// output lives on — the first live replica holder of its input split.
 	// If that node dies before the shuffle the output is lost and the
 	// task is recomputed.
-	OutputNode int
+	OutputNode int `json:"output_node,omitempty"`
 	// Recomputed marks a map task re-executed after its output node died
 	// (the recomputation's counters are discarded as duplicates of the
 	// already-merged originals).
-	Recomputed bool
+	Recomputed bool `json:"recomputed,omitempty"`
 	// Speculative counts backup attempts launched for this task and
 	// BackupCost is the killed losers' work — wasted effort the cluster
 	// simulator charges separately from AttemptCosts (which model the
 	// sequential retry chain).
-	Speculative int
-	BackupCost  time.Duration
+	Speculative int           `json:"speculative,omitempty"`
+	BackupCost  time.Duration `json:"backup_cost_ns,omitempty"`
 }
 
 // Metrics describes one job execution.
+//
+// The JSON field names job, map_tasks, reduce_tasks, side_bytes, and
+// counters are schema-stable; see MarshalJSON.
 type Metrics struct {
-	Job         string
-	MapTasks    []TaskMetrics
-	ReduceTasks []TaskMetrics
+	Job         string        `json:"job"`
+	MapTasks    []TaskMetrics `json:"map_tasks"`
+	ReduceTasks []TaskMetrics `json:"reduce_tasks"`
 	// SideBytes is the total size of broadcast side files (charged once
 	// per node by the simulator).
-	SideBytes int64
+	SideBytes int64 `json:"side_bytes,omitempty"`
 	// RecomputedMapTasks counts map tasks re-executed because their
 	// output node died before the shuffle.
-	RecomputedMapTasks int
+	RecomputedMapTasks int `json:"recomputed_map_tasks,omitempty"`
 	// Counters holds the job's aggregated counters.
-	Counters map[string]int64
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // ShufflePerReduce returns the bytes each reducer fetched.

@@ -1,0 +1,24 @@
+package mapreduce
+
+import "encoding/json"
+
+// Machine-readable metrics: Metrics and TaskMetrics carry stable JSON
+// tags (versioned by trace.SchemaVersion) so the trace export, the CLI
+// metrics.json artifact, and any external harness all consume the same
+// representation the human-readable Report() renders. Marshalling is
+// deterministic — struct order for fields, sorted keys for Counters —
+// and round-trips exactly: Unmarshal(Marshal(m)) reproduces m, and
+// re-marshalling yields identical bytes.
+
+// metricsAlias breaks method recursion while keeping the tagged layout.
+type metricsAlias Metrics
+
+// MarshalJSON implements json.Marshaler with the schema-stable layout.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal((*metricsAlias)(m))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Metrics) UnmarshalJSON(b []byte) error {
+	return json.Unmarshal(b, (*metricsAlias)(m))
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/trace"
 )
 
 // This file implements the engine's node-level failure model on top of
@@ -63,10 +64,21 @@ func applyNodeFailures(job *Job, barrier Barrier) {
 		if nf.Barrier != barrier || (nf.Job != "" && nf.Job != job.Name) {
 			continue
 		}
+		// Trace only liveness transitions: a wildcard event re-applied by
+		// every pipeline job would otherwise spam one line per job.
+		changed := job.FS.NodeAlive(nf.Node) == !nf.Recover
 		if nf.Recover {
 			job.FS.RecoverNode(nf.Node)
 		} else {
 			job.FS.FailNode(nf.Node)
+		}
+		if changed && job.Trace.Enabled() {
+			typ := trace.NodeDown
+			if nf.Recover {
+				typ = trace.NodeUp
+			}
+			job.Trace.Emit(trace.Event{Type: typ, Job: job.Name, Node: nf.Node,
+				Detail: string(barrier)})
 		}
 		applied = true
 	}
@@ -106,11 +118,19 @@ func recoverLostMapOutputs(job *Job, splits []dfs.Split, side map[string][]byte,
 		if job.FS.NodeAlive(node) {
 			continue
 		}
+		if job.Trace.Enabled() {
+			job.Trace.Emit(trace.Event{Type: trace.RecomputeStart, Job: job.Name,
+				Phase: trace.PhaseMap, Task: i, Node: node})
+		}
 		res, tm, err := runTaskAttempts(job, MapPhase, i, func(attempt int) (mapResult, TaskMetrics, error) {
 			return runMapTask(job, i, attempt, splits[i], side)
 		}, nil)
 		if err != nil {
 			return recomputed, fmt.Errorf("map task %d: recomputing output lost on node %d: %w", i, node, err)
+		}
+		if job.Trace.Enabled() {
+			job.Trace.Emit(trace.Event{Type: trace.RecomputeEnd, Job: job.Name,
+				Phase: trace.PhaseMap, Task: i, Node: node, Cost: int64(tm.Cost)})
 		}
 		segments[i] = res.parts
 		outNodes[i] = mapOutputNode(job.FS, splits[i], i)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/trace"
 )
 
 // Run executes the job to completion and returns its metrics. Output part
@@ -51,6 +52,10 @@ func Run(job Job) (*Metrics, error) {
 
 	counters := &Counters{}
 	metrics := &Metrics{Job: job.Name, SideBytes: sideBytes}
+	if job.Trace.Enabled() {
+		job.Trace.Emit(trace.Event{Type: trace.JobStart, Job: job.Name,
+			Detail: fmt.Sprintf("inputs=%d reducers=%d", len(splits), job.NumReducers)})
+	}
 	// Track every file this job creates so failure cleanup removes
 	// exactly those — never unrelated files that happen to share the
 	// output prefix (e.g. a prior stage's output in the same directory).
@@ -66,6 +71,9 @@ func Run(job Job) (*Metrics, error) {
 	segments := make([][][]byte, len(splits)) // [mapTask][partition] encoded segment
 	outNodes := make([]int, len(splits))      // node holding each map task's output
 	metrics.MapTasks = make([]TaskMetrics, len(splits))
+	if job.Trace.Enabled() {
+		job.Trace.Emit(trace.Event{Type: trace.PhaseStart, Job: job.Name, Phase: trace.PhaseMap})
+	}
 	if err := runParallel(len(splits), job.Parallelism, func(i int) error {
 		res, tm, err := runTaskAttempts(&job, MapPhase, i, func(attempt int) (mapResult, TaskMetrics, error) {
 			return runMapTask(&job, i, attempt, splits[i], side)
@@ -83,6 +91,9 @@ func Run(job Job) (*Metrics, error) {
 		track.removeAll(job.FS)
 		return nil, fmt.Errorf("job %s: %w", job.Name, err)
 	}
+	if job.Trace.Enabled() {
+		job.Trace.Emit(trace.Event{Type: trace.PhaseEnd, Job: job.Name, Phase: trace.PhaseMap})
+	}
 
 	// ---- Node failures at the map/shuffle barrier ----
 	// A node dying here takes its committed map outputs with it; those
@@ -99,6 +110,9 @@ func Run(job Job) (*Metrics, error) {
 
 	// ---- Reduce phase (shuffle + sort + reduce) ----
 	metrics.ReduceTasks = make([]TaskMetrics, job.NumReducers)
+	if job.Trace.Enabled() {
+		job.Trace.Emit(trace.Event{Type: trace.PhaseStart, Job: job.Name, Phase: trace.PhaseReduce})
+	}
 	if err := runParallel(job.NumReducers, job.Parallelism, func(r int) error {
 		var (
 			res reduceResult
@@ -140,6 +154,11 @@ func Run(job Job) (*Metrics, error) {
 	track.removeTemps(job.FS, job.Output)
 
 	metrics.Counters = counters.Snapshot()
+	if job.Trace.Enabled() {
+		job.Trace.Emit(trace.Event{Type: trace.PhaseEnd, Job: job.Name, Phase: trace.PhaseReduce})
+		job.Trace.Emit(trace.Event{Type: trace.JobEnd, Job: job.Name,
+			Detail: fmt.Sprintf("shuffle_bytes=%d", metrics.TotalShuffleBytes())})
+	}
 	return metrics, nil
 }
 

@@ -3,6 +3,8 @@ package mapreduce
 import (
 	"fmt"
 	"time"
+
+	"fuzzyjoin/internal/trace"
 )
 
 // Speculative execution (Hadoop's mapred.{map,reduce}.tasks.speculative):
@@ -39,6 +41,14 @@ func runReduceSpeculative(job *Job, r int, segments [][][]byte,
 		go func(attempt int) {
 			var o outcome
 			o.attempt = attempt
+			if job.Trace.Enabled() {
+				kind := ""
+				if attempt == 2 {
+					kind = trace.KindBackup // the backup racing the original
+				}
+				job.Trace.Emit(trace.Event{Type: trace.AttemptStart, Job: job.Name,
+					Phase: string(ReducePhase), Task: r, Attempt: attempt, Kind: kind})
+			}
 			o.res, o.tm, o.err = runOneAttempt(job, ReducePhase, r, attempt,
 				func(attempt int) (reduceResult, TaskMetrics, error) {
 					return runReduceTask(job, r, attempt, segments, side, track)
@@ -70,6 +80,17 @@ func runReduceSpeculative(job *Job, r int, segments [][][]byte,
 	tm.Speculative = 1
 	if loser.err == nil {
 		tm.BackupCost = loser.tm.Cost
+	}
+	if job.Trace.Enabled() {
+		job.Trace.Emit(attemptEndEvent(job.Name, ReducePhase, r, winner.attempt, tm))
+		job.Trace.Emit(trace.Event{Type: trace.SpeculativeWin, Job: job.Name,
+			Phase: string(ReducePhase), Task: r, Attempt: winner.attempt, Cost: int64(tm.Cost)})
+		lossEv := trace.Event{Type: trace.SpeculativeLoss, Job: job.Name,
+			Phase: string(ReducePhase), Task: r, Attempt: loser.attempt, Cost: int64(loser.tm.Cost)}
+		if loser.err != nil {
+			lossEv.Err = loser.err.Error()
+		}
+		job.Trace.Emit(lossEv)
 	}
 	return winner.res, tm, nil
 }

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONL format: the first line is a header object {"schema":N}; every
+// following line is one Event marshalled with encoding/json (fields in
+// struct order, zero values omitted). The format round-trips exactly:
+// WriteJSONL(ParseJSONL(x)) == x for any x this package wrote.
+
+// jsonlHeader is the first line of a JSONL trace.
+type jsonlHeader struct {
+	Schema int `json:"schema"`
+}
+
+// WriteJSONL writes the trace as JSON Lines.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(jsonlHeader{Schema: tr.Schema})
+	if err != nil {
+		return err
+	}
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	for i := range tr.Events {
+		line, err := json.Marshal(&tr.Events[i])
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL reads a JSONL trace back. It rejects missing headers and
+// schemas newer than this package understands.
+func ParseJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty JSONL input")
+	}
+	var hdr jsonlHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: bad JSONL header: %w", err)
+	}
+	if hdr.Schema < 1 || hdr.Schema > SchemaVersion {
+		return nil, fmt.Errorf("trace: unsupported schema %d (this build understands <= %d)", hdr.Schema, SchemaVersion)
+	}
+	tr := &Trace{Schema: hdr.Schema}
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// JSONLSink streams events to a writer as they are emitted, one line
+// per event, after a header line — for long runs where collecting the
+// whole trace in memory first is undesirable. Errors are sticky and
+// reported by Err (emit sites inside the engine cannot fail a job over
+// a trace-write error).
+type JSONLSink struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	err    error
+	wroteH bool
+}
+
+// NewJSONLSink returns a sink streaming JSONL to w. Call Flush when the
+// run completes.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if !s.wroteH {
+		hdr, err := json.Marshal(jsonlHeader{Schema: SchemaVersion})
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.w.Write(hdr)
+		s.w.WriteByte('\n')
+		s.wroteH = true
+	}
+	line, err := json.Marshal(&e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Err returns the first write or marshal error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,0 +1,137 @@
+package fuzzyjoin_test
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"fuzzyjoin"
+)
+
+func traceTestRecords() []fuzzyjoin.Record {
+	// Clusters of near-duplicates so the join result is non-empty.
+	base := []string{
+		"parallel set similarity joins using mapreduce",
+		"efficient record linkage in large data clusters",
+		"prefix filtering for scalable similarity search",
+		"token ordering strategies for distributed joins",
+	}
+	var recs []fuzzyjoin.Record
+	rid := uint64(1)
+	for _, title := range base {
+		for _, suffix := range []string{"", "", " extended", " revisited edition"} {
+			recs = append(recs, fuzzyjoin.Record{
+				RID:    rid,
+				Fields: []string{title + suffix, "smith jones", "conf"},
+			})
+			rid++
+		}
+	}
+	return recs
+}
+
+func runTraced(t *testing.T, trace bool) (string, *fuzzyjoin.Result) {
+	t.Helper()
+	fs := fuzzyjoin.NewFS(2, fuzzyjoin.Replication(2), fuzzyjoin.AutoReReplicate(true))
+	if err := fuzzyjoin.WriteRecords(fs, "pubs", traceTestRecords()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fuzzyjoin.Config{
+		FS: fs, Work: "w", NumReducers: 4,
+		Speculative:  true,
+		NodeFailures: []fuzzyjoin.NodeFailure{{Barrier: fuzzyjoin.AfterMap, Node: 0}},
+	}
+	if trace {
+		cfg.Trace = fuzzyjoin.NewTracer()
+	}
+	res, err := fuzzyjoin.SelfJoin(cfg, "pubs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := fuzzyjoin.ReadJoinedPairs(fs, res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, len(pairs))
+	for i, p := range pairs {
+		lines[i] = p.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n"), res
+}
+
+// TestTracedNodeFailureAcceptance is the end-to-end observability
+// check: a replication-2 self-join that kills node 0 after the first
+// map wave with speculation on must (a) produce byte-identical output
+// with tracing on or off, (b) record node-failure, recomputation, and
+// speculation events, (c) export JSONL that parses back, and (d) render
+// a per-node timeline with bars on every node.
+func TestTracedNodeFailureAcceptance(t *testing.T) {
+	plain, _ := runTraced(t, false)
+	traced, res := runTraced(t, true)
+	if plain != traced {
+		t.Fatal("join output differs with tracing enabled")
+	}
+	if plain == "" {
+		t.Fatal("join produced no pairs; test is vacuous")
+	}
+
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("no trace collected")
+	}
+	if tr.Count("node-down") == 0 {
+		t.Error("no node-down event")
+	}
+	if tr.Count("recompute-start") == 0 || tr.Count("recompute-end") == 0 {
+		t.Error("no lost-map-output recompute events")
+	}
+	if tr.Count("speculative-win") == 0 || tr.Count("speculative-loss") == 0 {
+		t.Error("no speculation events")
+	}
+	if tr.Count("attempt-end") == 0 {
+		t.Error("no attempt-end events")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"schema":1}`) {
+		t.Fatalf("JSONL header missing: %q", buf.String()[:40])
+	}
+
+	events := fuzzyjoin.TimelineEvents(res, 2)
+	svg := fuzzyjoin.TimelineSVG("acceptance", events)
+	nodesWithBars := map[int]bool{}
+	for _, e := range events {
+		if e.Type == "task-span" {
+			nodesWithBars[e.Node] = true
+			if e.End <= e.Start {
+				t.Errorf("span %+v: empty simulated interval", e)
+			}
+		}
+	}
+	if len(nodesWithBars) != 2 {
+		t.Errorf("timeline bars on %d nodes, want 2", len(nodesWithBars))
+	}
+	for _, want := range []string{"<svg", "node 0", "node 1", "✝"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("timeline SVG missing %q", want)
+		}
+	}
+}
+
+// TestNewFSOptions: the redesigned constructor matches the deprecated
+// one and defaults to single replication.
+func TestNewFSOptions(t *testing.T) {
+	if got := fuzzyjoin.NewFS(4).Replication(); got != 1 {
+		t.Fatalf("default replication = %d, want 1", got)
+	}
+	opt := fuzzyjoin.NewFS(4, fuzzyjoin.Replication(3), fuzzyjoin.AutoReReplicate(true))
+	old := fuzzyjoin.NewReplicatedFS(4, 3)
+	if opt.Replication() != 3 || old.Replication() != 3 {
+		t.Fatalf("replication = %d / %d, want 3", opt.Replication(), old.Replication())
+	}
+}
