@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race tier1 smoke bench
+.PHONY: all build test vet staticcheck race tier1 smoke bench bench-engine
 
 all: tier1
 
@@ -43,3 +43,11 @@ smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-engine runs the shuffle-datapath micro-benchmarks (sort, merge,
+# round-trip) and records the parsed results to BENCH_engine.json; the
+# raw benchmark lines still print to the terminal via stderr.
+bench-engine:
+	$(GO) test -run='^$$' -bench='BenchmarkSortPairs|BenchmarkMergeStream|BenchmarkShuffleRoundTrip' \
+		-benchmem -count=3 ./internal/mapreduce | $(GO) run ./cmd/bench2json > BENCH_engine.json
+	@echo "results recorded to BENCH_engine.json"

@@ -40,7 +40,7 @@ func main() {
 		s2     = flag.String("stage2", "PK", "kernel: BK or PK")
 		s3     = flag.String("stage3", "BRJ", "record join: BRJ or OPRJ")
 		red    = flag.Int("reducers", 8, "reduce tasks per job")
-		par    = flag.Int("par", 4, "host parallelism")
+		par    = flag.Int("par", 0, "host parallelism (0 = all CPUs; wall-clock only, never affects output)")
 		stats  = flag.Bool("stats", false, "print per-stage statistics to stderr")
 
 		maxAttempts = flag.Int("max-attempts", 1, "attempts per task before the job fails (1 = no retries)")

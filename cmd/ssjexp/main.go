@@ -31,7 +31,7 @@ func main() {
 		baseS  = flag.Int("baseS", 0, "x1 CITESEERX-like corpus size (default 1300)")
 		seed   = flag.Int64("seed", 0, "generation seed (default 42)")
 		tau    = flag.Float64("tau", 0, "similarity threshold (default 0.8)")
-		par    = flag.Int("par", 0, "host parallelism (default 1; higher is faster but noisier task costs)")
+		par    = flag.Int("par", 0, "host parallelism (default 1: experiments keep task costs stable; the join CLI defaults to all CPUs)")
 		mem    = flag.Int64("mem", -1, "per-task memory budget in bytes (default 1 MiB; 0 disables)")
 		only   = flag.String("only", "", "comma-separated experiment subset")
 

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"fuzzyjoin/internal/dfs"
@@ -184,8 +185,11 @@ type Config struct {
 	// LengthBucket is the bucket width in tokens (default 2).
 	LengthRouting bool
 	LengthBucket  int
-	// Parallelism is the host-goroutine bound for task execution
-	// (wall-clock only; results and recorded costs are unaffected).
+	// Parallelism is the host-goroutine bound for task execution.
+	// It affects wall-clock only: results are byte-identical and
+	// recorded per-task costs are measured per task regardless of how
+	// many run concurrently. Defaults to runtime.GOMAXPROCS(0); set 1
+	// explicitly for minimum-noise cost measurement.
 	Parallelism int
 	// CompressShuffle and SpillPairs pass through to every job (see
 	// mapreduce.Job): flate-compressed map output, and the map-side
@@ -245,7 +249,7 @@ func (c *Config) fillDefaults() error {
 		c.NumReducers = 4
 	}
 	if c.Parallelism <= 0 {
-		c.Parallelism = 1
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return nil
 }

@@ -199,6 +199,7 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 		Reducer:         &carryRecordsReducer{cfg: &cfg},
 		NumReducers:     cfg.NumReducers,
 		SideFiles:       []string{tokenFile},
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
@@ -225,6 +226,7 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 		Mapper:          mapreduce.IdentityMapper,
 		Reducer:         dedupFirstReducer,
 		NumReducers:     cfg.NumReducers,
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,

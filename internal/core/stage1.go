@@ -96,6 +96,7 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 		Combiner:        stage1Combiner(cfg),
 		Reducer:         sumCombiner,
 		NumReducers:     cfg.NumReducers,
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
@@ -120,6 +121,7 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 		Mapper:          countSwapMapper,
 		Reducer:         emitTokenReducer,
 		NumReducers:     1, // total order requires exactly one reducer (§3.1.1)
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
@@ -203,6 +205,7 @@ func runOPTO(cfg *Config, input string, work string) (tokenFile string, ms []*ma
 		Combiner:        stage1Combiner(cfg),
 		Reducer:         &optoReducer{},
 		NumReducers:     1,
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,

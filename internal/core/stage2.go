@@ -377,6 +377,7 @@ func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapre
 		Mapper:          &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relR},
 		NumReducers:     cfg.NumReducers,
 		SideFiles:       []string{tokenFile},
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
@@ -426,6 +427,7 @@ func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, [
 		SideFiles:       []string{tokenFile},
 		Partitioner:     mapreduce.PrefixPartitioner(4),
 		GroupComparator: keys.PrefixComparator(4),
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,

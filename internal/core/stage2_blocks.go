@@ -411,6 +411,7 @@ func runStage2SelfBlocked(cfg *Config, input, tokenFile, work string) (string, [
 		// (reduce-based).
 		Partitioner:     mapreduce.PrefixPartitioner(4),
 		GroupComparator: keys.PrefixComparator(4),
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,

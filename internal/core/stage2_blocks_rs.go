@@ -279,6 +279,7 @@ func runStage2RSBlocked(cfg *Config, inputR, inputS, tokenFile, work string) (st
 		SideFiles:       []string{tokenFile},
 		Partitioner:     mapreduce.PrefixPartitioner(4),
 		GroupComparator: keys.PrefixComparator(4),
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,

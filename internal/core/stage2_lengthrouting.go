@@ -169,6 +169,7 @@ func runStage2SelfLengthRouted(cfg *Config, input, tokenFile, work string) (stri
 		SideFiles:       []string{tokenFile},
 		Partitioner:     mapreduce.PrefixPartitioner(8),
 		GroupComparator: keys.PrefixComparator(8),
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
@@ -320,6 +321,7 @@ func runStage2RSLengthRouted(cfg *Config, inputR, inputS, tokenFile, work string
 		SideFiles:       []string{tokenFile},
 		Partitioner:     mapreduce.PrefixPartitioner(8),
 		GroupComparator: keys.PrefixComparator(8),
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,

@@ -213,6 +213,7 @@ func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool
 		Mapper:          &brjPhase1Mapper{pairsPrefix: pairsPrefix, relOf: relOf, rs: rs},
 		Reducer:         &brjPhase1Reducer{rs: rs},
 		NumReducers:     cfg.NumReducers,
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
@@ -237,6 +238,7 @@ func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool
 		Mapper:          mapreduce.IdentityMapper,
 		Reducer:         pairAssembleReducer{},
 		NumReducers:     cfg.NumReducers,
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,
@@ -354,6 +356,7 @@ func runOPRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs boo
 		Reducer:         pairAssembleReducer{},
 		NumReducers:     cfg.NumReducers,
 		SideFiles:       pairFiles,
+		SortPrefix:      stageKeySortPrefix,
 		MemoryLimit:     cfg.MemoryLimit,
 		Parallelism:     cfg.Parallelism,
 		CompressShuffle: cfg.CompressShuffle,

@@ -37,26 +37,39 @@ func appendPair(dst, key, value []byte) []byte {
 	return append(dst, value...)
 }
 
+// decodeOnePair parses the first Pairs-format record of block, returning
+// the key, value, and the undecoded remainder. The returned slices alias
+// block. Length varints must be minimal (the writers always emit minimal
+// encodings; an overlong one means corruption and would break the
+// decode-then-re-encode identity).
+func decodeOnePair(block []byte) (key, value, rest []byte, err error) {
+	kl, n := binary.Uvarint(block)
+	if n <= 0 || (n > 1 && block[n-1] == 0) || uint64(len(block)-n) < kl {
+		return nil, nil, nil, fmt.Errorf("mapreduce: corrupt Pairs block (key length)")
+	}
+	block = block[n:]
+	key = block[:kl]
+	block = block[kl:]
+	vl, n := binary.Uvarint(block)
+	if n <= 0 || (n > 1 && block[n-1] == 0) || uint64(len(block)-n) < vl {
+		return nil, nil, nil, fmt.Errorf("mapreduce: corrupt Pairs block (value length)")
+	}
+	block = block[n:]
+	value = block[:vl]
+	return key, value, block[vl:], nil
+}
+
 // decodePairs parses all Pairs-format records in block.
 func decodePairs(block []byte, fn func(key, value []byte) error) error {
 	for len(block) > 0 {
-		kl, n := binary.Uvarint(block)
-		if n <= 0 || uint64(len(block)-n) < kl {
-			return fmt.Errorf("mapreduce: corrupt Pairs block (key length)")
+		key, value, rest, err := decodeOnePair(block)
+		if err != nil {
+			return err
 		}
-		block = block[n:]
-		key := block[:kl]
-		block = block[kl:]
-		vl, n := binary.Uvarint(block)
-		if n <= 0 || uint64(len(block)-n) < vl {
-			return fmt.Errorf("mapreduce: corrupt Pairs block (value length)")
-		}
-		block = block[n:]
-		value := block[:vl]
-		block = block[vl:]
 		if err := fn(key, value); err != nil {
 			return err
 		}
+		block = rest
 	}
 	return nil
 }

@@ -39,6 +39,12 @@ import (
 // Pair is one (key, value) record flowing through the engine.
 type Pair struct {
 	Key, Value []byte
+
+	// prefix caches Job.SortPrefix(Key) during sorts and merges so most
+	// comparisons resolve on one integer compare without touching key
+	// bytes. It is engine-internal scratch, never serialized, and zero
+	// outside sort/merge paths.
+	prefix uint64
 }
 
 // Emitter receives pairs produced by map, combine, reduce, or cleanup
@@ -184,6 +190,16 @@ type Job struct {
 	Partitioner func(key []byte, numPartitions int) int
 	// SortComparator orders intermediate keys; defaults to bytes.Compare.
 	SortComparator func(a, b []byte) int
+	// SortPrefix optionally maps a key to a uint64 whose integer order is
+	// consistent with SortComparator: whenever SortPrefix(a) !=
+	// SortPrefix(b), SortComparator(a, b) must have the same sign as the
+	// integer comparison. The engine caches the prefix on every pair and
+	// resolves most sort/merge comparisons on it without touching key
+	// bytes. When SortComparator is left at its default, SortPrefix
+	// defaults to DefaultSortPrefix (first eight key bytes, big-endian);
+	// jobs installing a custom comparator must supply their own prefix
+	// (or leave it nil to disable the fast path).
+	SortPrefix func(key []byte) uint64
 	// GroupComparator groups sorted pairs into reduce calls; defaults to
 	// the sort comparator.
 	GroupComparator func(a, b []byte) int
@@ -523,6 +539,11 @@ func (j *Job) fillDefaults() error {
 	}
 	if j.SortComparator == nil {
 		j.SortComparator = keys.Compare
+		if j.SortPrefix == nil {
+			// bytes.Compare order is provably consistent with the
+			// zero-padded big-endian first-8-bytes prefix.
+			j.SortPrefix = DefaultSortPrefix
+		}
 	}
 	if j.GroupComparator == nil {
 		j.GroupComparator = j.SortComparator
@@ -531,4 +552,10 @@ func (j *Job) fillDefaults() error {
 		j.Parallelism = 1
 	}
 	return nil
+}
+
+// pairCmp bundles the job's sort comparator with its prefix hook for the
+// sort and merge paths.
+func (j *Job) pairCmp() pairCmp {
+	return pairCmp{cmp: j.SortComparator, prefix: j.SortPrefix}
 }

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -344,6 +343,16 @@ func (e *bufEmitter) Emit(key, value []byte) error {
 	return nil
 }
 
+// reset empties the emitter for reuse after a spill. The spill has
+// already encoded and written every buffered pair, so the pairs slice
+// and the current arena chunk are dead and can be recycled wholesale —
+// steady-state spilling stops allocating.
+func (e *bufEmitter) reset() {
+	e.pairs = e.pairs[:0]
+	e.bytes = 0
+	e.chunk = e.chunk[:0]
+}
+
 // mapResult is one committed map attempt's output: the per-reducer
 // segments plus the attempt's private counter buffer (merged into the
 // job counters only on commit, so failed attempts leave no counts).
@@ -387,14 +396,10 @@ func runMapTask(job *Job, taskID, attempt int, split dfs.Split, side map[string]
 				return err
 			}
 		}
-		enc := make([][]byte, len(runs))
-		for r := range runs {
-			enc[r] = encodeRun(runs[r])
-		}
-		if err := spills.add(enc); err != nil {
+		if err := spills.addRuns(runs); err != nil {
 			return err
 		}
-		*em = bufEmitter{}
+		em.reset()
 		return nil
 	}
 	var sink Emitter = em
@@ -443,8 +448,9 @@ func buildRuns(job *Job, ctx *Context, pairs []Pair) ([][]Pair, error) {
 		}
 		parts[r] = append(parts[r], p)
 	}
+	pc := job.pairCmp()
 	for r := range parts {
-		sortPairs(parts[r], job.SortComparator)
+		sortPairsBy(parts[r], pc)
 		if job.Combiner != nil {
 			combined, err := combine(ctx, job, parts[r])
 			if err != nil {
@@ -458,37 +464,58 @@ func buildRuns(job *Job, ctx *Context, pairs []Pair) ([][]Pair, error) {
 
 // finalizeMapOutput merges the in-memory buffer with any on-disk spills
 // and encodes (optionally compressing) the final per-reducer segments.
+// The merge streams: spilled runs are walked in their encoded form and
+// pairs flow straight into the output encoding, so finalization never
+// materializes a partition's merged pairs (except for combiner output,
+// which is small by construction).
 func finalizeMapOutput(job *Job, ctx *Context, em *bufEmitter, spills *mapSpills, tm *TaskMetrics) ([][]byte, error) {
 	finalRuns, err := buildRuns(job, ctx, em.pairs)
 	if err != nil {
 		return nil, err
 	}
+	pc := job.pairCmp()
 	out := make([][]byte, job.NumReducers)
 	tm.PartitionBytes = make([]int64, job.NumReducers)
 	for r := 0; r < job.NumReducers; r++ {
-		runs := [][]Pair{finalRuns[r]}
+		cursors := []*runCursor{cursorForPairs(finalRuns[r])}
 		if spills != nil {
 			encRuns, err := spills.load(r)
 			if err != nil {
 				return nil, err
 			}
-			for _, enc := range encRuns {
-				run, err := decodeRun(enc)
-				if err != nil {
-					return nil, err
-				}
-				runs = append(runs, run)
+			for _, encRun := range encRuns {
+				cursors = append(cursors, cursorForEncoded(encRun))
 			}
 		}
-		merged := mergeRuns(runs, job.SortComparator)
+		ms, err := newMergeStream(pc, cursors)
+		if err != nil {
+			return nil, err
+		}
+		var enc []byte
+		var recs int64
 		if job.Combiner != nil && spills != nil && spills.spills > 0 {
-			// Re-combine across runs (Hadoop's merge-time combine).
-			merged, err = combine(ctx, job, merged)
+			// Re-combine across runs (Hadoop's merge-time combine): stream
+			// key groups out of the merge into the combiner, then encode
+			// its (re-sorted if necessary) output.
+			merged, err := combineStream(ctx, job, ms)
 			if err != nil {
 				return nil, err
 			}
+			enc = encodeRun(merged)
+			recs = int64(len(merged))
+		} else {
+			for {
+				p, ok, err := ms.next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				enc = appendPair(enc, p.Key, p.Value)
+				recs++
+			}
 		}
-		enc := encodeRun(merged)
 		if job.CompressShuffle {
 			enc, err = compressSegment(enc)
 			if err != nil {
@@ -497,7 +524,7 @@ func finalizeMapOutput(job *Job, ctx *Context, em *bufEmitter, spills *mapSpills
 		}
 		out[r] = enc
 		tm.PartitionBytes[r] = int64(len(enc))
-		tm.OutputRecords += int64(len(merged))
+		tm.OutputRecords += recs
 		tm.OutputBytes += int64(len(enc))
 	}
 	if spills != nil {
@@ -505,18 +532,6 @@ func finalizeMapOutput(job *Job, ctx *Context, em *bufEmitter, spills *mapSpills
 		tm.SpillBytes = spills.bytes
 	}
 	return out, nil
-}
-
-// sortPairs orders pairs by the comparator, breaking key ties by value so
-// engine output is fully deterministic regardless of host scheduling.
-func sortPairs(pairs []Pair, cmp func(a, b []byte) int) {
-	sort.Slice(pairs, func(i, j int) bool {
-		c := cmp(pairs[i].Key, pairs[j].Key)
-		if c != 0 {
-			return c < 0
-		}
-		return comparePairTie(pairs[i], pairs[j]) < 0
-	})
 }
 
 func comparePairTie(a, b Pair) int {
@@ -533,7 +548,10 @@ func comparePairTie(a, b Pair) int {
 func compareBytes(a, b []byte) int { return bytes.Compare(a, b) }
 
 // combine runs the combiner over each key group of the sorted run and
-// returns the re-sorted result.
+// returns the result in sort order. Combiners typically emit one pair
+// per group in group order (the Stage 1 count combiner does), so the
+// output is checked with a linear pass and re-sorted only when some
+// emission actually broke the order.
 func combine(ctx *Context, job *Job, pairs []Pair) ([]Pair, error) {
 	if len(pairs) == 0 {
 		return pairs, nil
@@ -551,7 +569,34 @@ func combine(ctx *Context, job *Job, pairs []Pair) ([]Pair, error) {
 		}
 		i = j
 	}
-	sortPairs(out.pairs, job.SortComparator)
+	if !pairsSorted(out.pairs, job.SortComparator) {
+		sortPairsBy(out.pairs, job.pairCmp())
+	}
+	return out.pairs, nil
+}
+
+// combineStream is combine over a merge stream: key groups are carved
+// off the stream one at a time (under the grouping comparator) and fed
+// to the combiner, so the merged input is never materialized.
+func combineStream(ctx *Context, job *Job, ms *mergeStream) ([]Pair, error) {
+	gs := &groupStream{m: ms, group: job.GroupComparator}
+	out := &bufEmitter{}
+	for {
+		g, err := gs.next()
+		if err != nil {
+			return nil, err
+		}
+		if g == nil {
+			break
+		}
+		vals := &Values{pairs: g}
+		if err := job.Combiner.Reduce(ctx, g[0].Key, vals, out); err != nil {
+			return nil, err
+		}
+	}
+	if !pairsSorted(out.pairs, job.SortComparator) {
+		sortPairsBy(out.pairs, job.pairCmp())
+	}
 	return out.pairs, nil
 }
 
@@ -580,9 +625,12 @@ func runReduceTask(job *Job, r, attempt int, segments [][][]byte, side map[strin
 	res := reduceResult{counters: counters}
 	start := time.Now()
 
-	// Shuffle: fetch this reducer's encoded segment from every map task,
-	// decompress and decode, then k-way merge the sorted runs.
-	var runs [][]Pair
+	// Shuffle: fetch this reducer's encoded segment from every map task
+	// (decompressing if the shuffle is compressed), then k-way merge the
+	// sorted runs in their encoded form. The merge streams — segments are
+	// decoded pair by pair as the loser tree consumes them, so the task
+	// never materializes the merged partition.
+	var cursors []*runCursor
 	for _, seg := range segments {
 		if r >= len(seg) || len(seg[r]) == 0 {
 			continue
@@ -595,16 +643,12 @@ func runReduceTask(job *Job, r, attempt int, segments [][][]byte, side map[strin
 				return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
 			}
 		}
-		run, err := decodeRun(data)
-		if err != nil {
-			return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
-		}
-		if len(run) > 0 {
-			runs = append(runs, run)
-		}
+		cursors = append(cursors, cursorForEncoded(data))
 	}
-	pairs := mergeRuns(runs, job.SortComparator)
-	tm.InputRecords = int64(len(pairs))
+	ms, err := newMergeStream(job.pairCmp(), cursors)
+	if err != nil {
+		return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
+	}
 
 	// Write under an attempt-suffixed temporary name; Run renames it to
 	// the final part name only when the attempt commits.
@@ -622,17 +666,20 @@ func runReduceTask(job *Job, r, attempt int, segments [][][]byte, side map[strin
 			return res, tm, fmt.Errorf("reduce task %d setup: %w", r, err)
 		}
 	}
-	i := 0
-	for i < len(pairs) {
-		j := i + 1
-		for j < len(pairs) && job.GroupComparator(pairs[i].Key, pairs[j].Key) == 0 {
-			j++
-		}
-		vals := &Values{pairs: pairs[i:j]}
-		if err := reducer.Reduce(ctx, pairs[i].Key, vals, out); err != nil {
+	gs := &groupStream{m: ms, group: job.GroupComparator}
+	for {
+		g, err := gs.next()
+		if err != nil {
 			return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
 		}
-		i = j
+		if g == nil {
+			break
+		}
+		tm.InputRecords += int64(len(g))
+		vals := &Values{pairs: g}
+		if err := reducer.Reduce(ctx, g[0].Key, vals, out); err != nil {
+			return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
+		}
 	}
 	if c, ok := reducer.(Cleanupper); ok {
 		if err := c.Cleanup(ctx, out); err != nil {

@@ -1,0 +1,165 @@
+package mapreduce
+
+import (
+	"fmt"
+	"testing"
+
+	"fuzzyjoin/internal/keys"
+)
+
+// Engine micro-benchmarks for the shuffle datapath (§4.8 of DESIGN.md).
+// Run via `make bench-engine`, which records results (with -benchmem) to
+// BENCH_engine.json so the perf trajectory is tracked across changes.
+
+// benchPairCmp is the configuration every pipeline job runs with: the
+// default byte comparator plus the first-8-bytes integer prefix.
+var benchPairCmp = pairCmp{cmp: keys.Compare, prefix: DefaultSortPrefix}
+
+// BenchmarkSortPairs sorts 100k pairs whose keys discriminate in their
+// first eight bytes — the shape of every stage's keys (binary counts,
+// group ids, RIDs) — through the prefix-cached sort.
+func BenchmarkSortPairs(b *testing.B) {
+	const n = 100_000
+	src := make([]Pair, n)
+	for i := range src {
+		src[i] = Pair{
+			Key:   []byte(fmt.Sprintf("%016x", uint64(i)*0x9E3779B97F4A7C15)),
+			Value: []byte(fmt.Sprintf("%06d", i)),
+		}
+	}
+	dst := make([]Pair, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(dst, src)
+		sortPairsBy(dst, benchPairCmp)
+	}
+}
+
+// benchRuns builds 16 sorted runs of 4000 pairs with interleaved keys,
+// the merge shape of a spilling map task.
+func benchRuns() [][]Pair {
+	const nRuns, perRun = 16, 4000
+	runs := make([][]Pair, nRuns)
+	for s := range runs {
+		run := make([]Pair, perRun)
+		for i := range run {
+			run[i] = Pair{Key: []byte(fmt.Sprintf("%010d", (i*31+s*7)%40000))}
+		}
+		sortPairs(run, keys.Compare)
+		runs[s] = run
+	}
+	return runs
+}
+
+// BenchmarkMergeStream k-way merges 16 sorted in-memory runs (64k pairs)
+// through the streaming loser tree.
+func BenchmarkMergeStream(b *testing.B) {
+	runs := benchRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cursors := make([]*runCursor, len(runs))
+		for j, run := range runs {
+			cursors[j] = cursorForPairs(run)
+		}
+		ms, err := newMergeStream(benchPairCmp, cursors)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, ok, err := ms.next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != 16*4000 {
+			b.Fatalf("merged %d pairs, want %d", n, 16*4000)
+		}
+	}
+}
+
+// benchSegments builds 16 encoded map-output segments of 2000 pairs each
+// whose key groups interleave across segments (~16 values per group) —
+// the reduce-side shuffle shape.
+func benchSegments(compress bool) ([][]byte, int) {
+	const nSeg, perSeg = 16, 2000
+	segs := make([][]byte, nSeg)
+	for s := range segs {
+		run := make([]Pair, perSeg)
+		for i := range run {
+			run[i] = Pair{
+				Key:   []byte(fmt.Sprintf("%08d-%06d", (s*perSeg+i*7)%(nSeg*perSeg/16), s)),
+				Value: []byte(fmt.Sprintf("%07d", i)),
+			}
+		}
+		sortPairs(run, keys.Compare)
+		enc := encodeRun(run)
+		if compress {
+			var err error
+			if enc, err = compressSegment(enc); err != nil {
+				panic(err)
+			}
+		}
+		segs[s] = enc
+	}
+	return segs, nSeg * perSeg
+}
+
+// shuffleRoundTrip consumes one reducer's worth of encoded segments the
+// way runReduceTask does: decompress (optionally), merge the encoded
+// runs through the loser tree, and walk every key group.
+func shuffleRoundTrip(b *testing.B, segs [][]byte, compressed bool, want int) {
+	cursors := make([]*runCursor, 0, len(segs))
+	for _, seg := range segs {
+		data := seg
+		if compressed {
+			var err error
+			if data, err = decompressSegment(seg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cursors = append(cursors, cursorForEncoded(data))
+	}
+	ms, err := newMergeStream(benchPairCmp, cursors)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gs := &groupStream{m: ms, group: keys.Compare}
+	n := 0
+	for {
+		g, err := gs.next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g == nil {
+			break
+		}
+		n += len(g)
+	}
+	if n != want {
+		b.Fatalf("consumed %d pairs, want %d", n, want)
+	}
+}
+
+// BenchmarkShuffleRoundTrip is the reduce-side hot path end to end:
+// 16 segments × 2000 pairs fetched, merged, and grouped.
+func BenchmarkShuffleRoundTrip(b *testing.B) {
+	b.Run("plain", func(b *testing.B) {
+		segs, total := benchSegments(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			shuffleRoundTrip(b, segs, false, total)
+		}
+	})
+	b.Run("compressed", func(b *testing.B) {
+		segs, total := benchSegments(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			shuffleRoundTrip(b, segs, true, total)
+		}
+	})
+}

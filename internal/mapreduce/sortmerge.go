@@ -9,29 +9,140 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
+	"sync"
 )
 
 // This file holds the map-output machinery: sorted-run encoding, k-way
 // merging, map-side spills (Hadoop's io.sort.mb behaviour), and optional
 // shuffle compression. Map tasks hand reducers *encoded* segments, so
 // PartitionBytes is the actual wire size of the shuffle.
+//
+// The shuffle datapath is streaming and allocation-lean (§4.8 of
+// DESIGN.md): sorts compare a cached integer prefix of each key before
+// falling back to the full comparator, merges run through a loser tree
+// that decodes encoded runs lazily and yields one pair at a time, and
+// flate state plus encode scratch are pooled across segments and tasks.
 
-// encodeRun serializes a sorted pair run in Pairs format.
-func encodeRun(pairs []Pair) []byte {
+// DefaultSortPrefix maps a key to its first eight bytes read as a
+// big-endian integer (shorter keys are zero-padded on the right). The
+// integer order of these prefixes is consistent with bytes.Compare:
+// whenever the prefixes differ, they order the keys exactly as the full
+// comparison would. It is the prefix the engine installs automatically
+// when Job.SortComparator is left at its bytes.Compare default.
+func DefaultSortPrefix(key []byte) uint64 {
+	if len(key) >= 8 {
+		return binary.BigEndian.Uint64(key)
+	}
+	var v uint64
+	for i := 0; i < len(key); i++ {
+		v |= uint64(key[i]) << (56 - 8*i)
+	}
+	return v
+}
+
+// pairCmp bundles the job's sort comparator with its (optional) sort
+// prefix. With a prefix installed, comparisons race two integers first
+// and touch key bytes only on prefix ties.
+type pairCmp struct {
+	cmp    func(a, b []byte) int
+	prefix func(key []byte) uint64 // nil disables the prefix fast path
+}
+
+// fill caches the sort prefix on every pair before a sort.
+func (pc pairCmp) fill(pairs []Pair) {
+	if pc.prefix == nil {
+		return
+	}
+	for i := range pairs {
+		pairs[i].prefix = pc.prefix(pairs[i].Key)
+	}
+}
+
+// compare is the engine's total order over prefix-filled pairs: cached
+// prefix, then the sort comparator, then the deterministic tie-break.
+// Differing prefixes imply a comparator difference of the same sign
+// (the SortPrefix contract), so the fast path never changes the order.
+func (pc pairCmp) compare(a, b Pair) int {
+	if pc.prefix != nil && a.prefix != b.prefix {
+		if a.prefix < b.prefix {
+			return -1
+		}
+		return 1
+	}
+	return comparePairs(pc.cmp, a, b)
+}
+
+// sortPairsBy orders pairs by the job comparator with the prefix fast
+// path, breaking key ties by value so engine output is fully
+// deterministic regardless of host scheduling.
+func sortPairsBy(pairs []Pair, pc pairCmp) {
+	pc.fill(pairs)
+	slices.SortFunc(pairs, pc.compare)
+}
+
+// sortPairs is sortPairsBy without a prefix cache (tests and callers
+// holding only a bare comparator).
+func sortPairs(pairs []Pair, cmp func(a, b []byte) int) {
+	sortPairsBy(pairs, pairCmp{cmp: cmp})
+}
+
+// pairsSorted reports whether pairs are already in the engine's total
+// order — a linear pass that lets combine() skip its re-sort in the
+// common case of a combiner emitting one pair per key group in group
+// order.
+func pairsSorted(pairs []Pair, cmp func(a, b []byte) int) bool {
+	for i := 1; i < len(pairs); i++ {
+		if comparePairs(cmp, pairs[i-1], pairs[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeRunInto serializes a sorted pair run in Pairs format, appending
+// to dst (pass dst[:0] to reuse scratch across runs).
+func encodeRunInto(dst []byte, pairs []Pair) []byte {
 	var n int
 	for _, p := range pairs {
 		n += len(p.Key) + len(p.Value) + 2*binary.MaxVarintLen32
 	}
-	buf := make([]byte, 0, n)
+	dst = slices.Grow(dst, n)
 	for _, p := range pairs {
-		buf = appendPair(buf, p.Key, p.Value)
+		dst = appendPair(dst, p.Key, p.Value)
 	}
-	return buf
+	return dst
+}
+
+// encodeRun serializes a sorted pair run in Pairs format.
+func encodeRun(pairs []Pair) []byte {
+	return encodeRunInto(make([]byte, 0), pairs)
+}
+
+// countEncodedPairs counts the records in an encoded run (for pre-sizing
+// decode output). Malformed tails yield a short count; the decode proper
+// still reports the error.
+func countEncodedPairs(data []byte) int {
+	n := 0
+	for len(data) > 0 {
+		kl, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < kl {
+			return n
+		}
+		data = data[sz+int(kl):]
+		vl, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < vl {
+			return n
+		}
+		data = data[sz+int(vl):]
+		n++
+	}
+	return n
 }
 
 // decodeRun parses an encoded run back into pairs. The slices alias data.
 func decodeRun(data []byte) ([]Pair, error) {
-	var out []Pair
+	out := make([]Pair, 0, countEncodedPairs(data))
 	err := decodePairs(data, func(k, v []byte) error {
 		out = append(out, Pair{Key: k, Value: v})
 		return nil
@@ -48,7 +159,205 @@ func comparePairs(cmp func(a, b []byte) int, a, b Pair) int {
 	return comparePairTie(a, b)
 }
 
-// runHeap is a k-way merge heap over sorted runs.
+// runCursor streams one sorted run during a merge — either over decoded
+// in-memory pairs or over an encoded segment, decoding lazily so the
+// merge never materializes a whole run.
+type runCursor struct {
+	pairs []Pair // in-memory mode (nil in encoded mode)
+	i     int
+	data  []byte // encoded mode: undecoded remainder
+	cur   Pair   // head pair, valid after advance returns true
+	done  bool
+}
+
+func cursorForPairs(pairs []Pair) *runCursor  { return &runCursor{pairs: pairs} }
+func cursorForEncoded(data []byte) *runCursor { return &runCursor{data: data} }
+
+// advance steps the cursor to its next pair. Decoded key/value slices
+// alias the run's backing storage, which outlives the merge.
+func (c *runCursor) advance(prefix func([]byte) uint64) (bool, error) {
+	if c.pairs != nil {
+		if c.i >= len(c.pairs) {
+			c.done = true
+			return false, nil
+		}
+		c.cur = c.pairs[c.i]
+		c.i++
+	} else {
+		if len(c.data) == 0 {
+			c.done = true
+			return false, nil
+		}
+		k, v, rest, err := decodeOnePair(c.data)
+		if err != nil {
+			c.done = true
+			return false, err
+		}
+		c.cur = Pair{Key: k, Value: v}
+		c.data = rest
+	}
+	if prefix != nil {
+		c.cur.prefix = prefix(c.cur.Key)
+	}
+	return true, nil
+}
+
+// mergeStream is a streaming k-way merge over sorted run cursors, backed
+// by a loser tree: each next() costs one root-to-leaf replay of ⌈log k⌉
+// prefix-first comparisons instead of a heap's sift with full key
+// compares. Ties across runs are broken by cursor index, which keeps the
+// output deterministic; pairs equal under the engine's total order are
+// byte-identical anyway, so the sequence matches the materialized
+// mergeRuns exactly.
+type mergeStream struct {
+	pc      pairCmp
+	cursors []*runCursor
+	tree    []int // tree[0] = current winner; tree[1:] = per-node losers
+}
+
+// newMergeStream primes every cursor and builds the loser tree. Cursors
+// that are empty from the start are dropped.
+func newMergeStream(pc pairCmp, cursors []*runCursor) (*mergeStream, error) {
+	live := make([]*runCursor, 0, len(cursors))
+	for _, c := range cursors {
+		ok, err := c.advance(pc.prefix)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			live = append(live, c)
+		}
+	}
+	m := &mergeStream{pc: pc, cursors: live}
+	k := len(live)
+	if k < 2 {
+		return m, nil
+	}
+	m.tree = make([]int, k)
+	for i := range m.tree {
+		m.tree[i] = -1
+	}
+	// Replay each contestant up from its leaf: losers park at internal
+	// nodes, exactly one contestant reaches the root.
+	for i := k - 1; i >= 0; i-- {
+		w := i
+		for node := (i + k) / 2; node > 0; node /= 2 {
+			if m.tree[node] == -1 {
+				m.tree[node] = w
+				w = -1
+				break
+			}
+			if m.beats(m.tree[node], w) {
+				w, m.tree[node] = m.tree[node], w
+			}
+		}
+		if w >= 0 {
+			m.tree[0] = w
+		}
+	}
+	return m, nil
+}
+
+// beats reports whether contestant a's head pair precedes contestant
+// b's. Exhausted cursors lose to everything; ties break by cursor index.
+func (m *mergeStream) beats(a, b int) bool {
+	ca, cb := m.cursors[a], m.cursors[b]
+	if ca.done {
+		return false
+	}
+	if cb.done {
+		return true
+	}
+	if c := m.pc.compare(ca.cur, cb.cur); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// next yields the next merged pair. The returned Key/Value alias the run
+// storage and stay valid for the lifetime of the task.
+func (m *mergeStream) next() (Pair, bool, error) {
+	k := len(m.cursors)
+	if k == 0 {
+		return Pair{}, false, nil
+	}
+	if k == 1 {
+		c := m.cursors[0]
+		if c.done {
+			return Pair{}, false, nil
+		}
+		p := c.cur
+		if _, err := c.advance(m.pc.prefix); err != nil {
+			return Pair{}, false, err
+		}
+		return p, true, nil
+	}
+	w := m.tree[0]
+	cw := m.cursors[w]
+	if cw.done {
+		return Pair{}, false, nil
+	}
+	p := cw.cur
+	if _, err := cw.advance(m.pc.prefix); err != nil {
+		return Pair{}, false, err
+	}
+	for node := (w + k) / 2; node > 0; node /= 2 {
+		if m.beats(m.tree[node], w) {
+			w, m.tree[node] = m.tree[node], w
+		}
+	}
+	m.tree[0] = w
+	return p, true, nil
+}
+
+// groupStream slices a merge stream into key groups under the grouping
+// comparator, buffering only the active group. The returned slice is
+// reused: it is valid until the next call, matching the Values contract.
+type groupStream struct {
+	m       *mergeStream
+	group   func(a, b []byte) int
+	buf     []Pair
+	pending Pair
+	started bool
+	eof     bool
+}
+
+// next returns the next key group, or nil at end of stream.
+func (g *groupStream) next() ([]Pair, error) {
+	if !g.started {
+		g.started = true
+		p, ok, err := g.m.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			g.eof = true
+		}
+		g.pending = p
+	}
+	if g.eof {
+		return nil, nil
+	}
+	g.buf = append(g.buf[:0], g.pending)
+	for {
+		p, ok, err := g.m.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			g.eof = true
+			return g.buf, nil
+		}
+		if g.group(g.buf[0].Key, p.Key) != 0 {
+			g.pending = p
+			return g.buf, nil
+		}
+		g.buf = append(g.buf, p)
+	}
+}
+
+// runHeap is a k-way merge heap over sorted runs (the materialized
+// reference merge; production paths use mergeStream).
 type runHeap struct {
 	runs [][]Pair // each non-empty, sorted
 	cmp  func(a, b []byte) int
@@ -62,7 +371,8 @@ func (h *runHeap) Swap(i, j int) { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
 func (h *runHeap) Push(x any)    { h.runs = append(h.runs, x.([]Pair)) }
 func (h *runHeap) Pop() any      { r := h.runs[len(h.runs)-1]; h.runs = h.runs[:len(h.runs)-1]; return r }
 
-// mergeRuns k-way merges sorted runs into one sorted slice.
+// mergeRuns k-way merges sorted runs into one sorted slice. It is the
+// semantics oracle the streaming merge is property-tested against.
 func mergeRuns(runs [][]Pair, cmp func(a, b []byte) int) []Pair {
 	nonEmpty := runs[:0]
 	total := 0
@@ -103,6 +413,7 @@ type mapSpills struct {
 	parts  int
 	bytes  int64
 	spills int
+	enc    []byte // encode scratch reused across spills
 }
 
 func newMapSpills(parts int) (*mapSpills, error) {
@@ -113,8 +424,10 @@ func newMapSpills(parts int) (*mapSpills, error) {
 	return &mapSpills{dir: dir, parts: parts}, nil
 }
 
-// add writes one spill: runs[r] is partition r's sorted encoded run.
-func (ms *mapSpills) add(runs [][]byte) error {
+// addRuns writes one spill: runs[r] is partition r's sorted run. Each
+// run is encoded into a reused scratch buffer and written out
+// immediately, so a spill leaves nothing per-partition on the heap.
+func (ms *mapSpills) addRuns(runs [][]Pair) error {
 	name := filepath.Join(ms.dir, fmt.Sprintf("spill-%d", ms.spills))
 	f, err := os.Create(name)
 	if err != nil {
@@ -123,14 +436,15 @@ func (ms *mapSpills) add(runs [][]byte) error {
 	defer f.Close()
 	var hdr [8]byte
 	for _, run := range runs {
-		binary.BigEndian.PutUint64(hdr[:], uint64(len(run)))
+		ms.enc = encodeRunInto(ms.enc[:0], run)
+		binary.BigEndian.PutUint64(hdr[:], uint64(len(ms.enc)))
 		if _, err := f.Write(hdr[:]); err != nil {
 			return err
 		}
-		if _, err := f.Write(run); err != nil {
+		if _, err := f.Write(ms.enc); err != nil {
 			return err
 		}
-		ms.bytes += int64(8 + len(run))
+		ms.bytes += int64(8 + len(ms.enc))
 	}
 	ms.files = append(ms.files, name)
 	ms.spills++
@@ -168,14 +482,29 @@ func (ms *mapSpills) close() {
 	os.RemoveAll(ms.dir)
 }
 
+// flateWriters pools flate compressor state (hundreds of KB per writer)
+// across segments, tasks, and jobs; writers are Reset onto each output.
+var flateWriters = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		panic(err) // BestSpeed is a valid level
+	}
+	return w
+}}
+
+// flateReaders pools decompressor state (window + tables); readers are
+// Reset onto each input via flate.Resetter.
+var flateReaders = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
 // compressSegment flate-compresses an encoded segment (shuffle
 // compression, Hadoop's mapreduce.map.output.compress).
 func compressSegment(data []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
+	w := flateWriters.Get().(*flate.Writer)
+	defer flateWriters.Put(w)
+	buf := bytes.NewBuffer(make([]byte, 0, len(data)/4+64))
+	w.Reset(buf)
 	if _, err := w.Write(data); err != nil {
 		return nil, err
 	}
@@ -186,7 +515,30 @@ func compressSegment(data []byte) ([]byte, error) {
 }
 
 func decompressSegment(data []byte) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(data))
-	defer r.Close()
-	return io.ReadAll(r)
+	r := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(r)
+	if err := r.(flate.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
+		return nil, err
+	}
+	// Pre-size for the typical BestSpeed ratio on Pairs-format shuffle
+	// data; the append-grow loop handles outliers.
+	out := make([]byte, 0, 3*len(data)+64)
+	for {
+		if len(out) == cap(out) {
+			out = append(out, 0)[:len(out)]
+		}
+		n, err := r.Read(out[len(out):cap(out)])
+		out = out[:len(out)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
