@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race tier1 smoke bench bench-engine
+.PHONY: all build test vet staticcheck race tier1 smoke bench bench-engine conformance cover fuzz-smoke
 
 all: tier1
 
@@ -40,6 +40,39 @@ smoke:
 		-node-fail 0 -speculative -trace -trace-out smoke-out -out smoke-out/pairs.txt
 	@test -s smoke-out/trace.jsonl && test -s smoke-out/timeline.svg && test -s smoke-out/metrics.json
 	@echo "smoke artifacts in smoke-out/"
+
+# conformance sweeps the full pipeline-variant matrix (192 cells:
+# stage combos × self/R-S × routing × block processing × plain/faulty/
+# parallel execution) against the exact oracle, then runs the
+# metamorphic invariant suite, on a handful of seeded workloads. Any
+# divergence prints a minimized `ssjcheck` reproducer and fails.
+conformance:
+	$(GO) run ./cmd/ssjcheck -seed 1 -records 40
+	$(GO) run ./cmd/ssjcheck -seed 2 -records 50 -tau 0.7
+	$(GO) run ./cmd/ssjcheck -seed 3 -records 60 -vocab 64 -skew 2.0 -tau 0.6
+
+# cover runs the full test suite with a cross-package coverage profile,
+# renders cover.html, and enforces the ratchet: total statement coverage
+# must not drop below COVERAGE_BASELINE (raise the baseline when
+# coverage durably improves; never lower it to make a change pass).
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=./internal/...,./cmd/... ./...
+	$(GO) tool cover -html=cover.out -o cover.html
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$NF); print $$NF}'); \
+	base=$$(cat COVERAGE_BASELINE); \
+	echo "total statement coverage: $$total% (baseline $$base%)"; \
+	if [ "$$(awk -v t=$$total -v b=$$base 'BEGIN{print (t+0 >= b+0) ? "ok" : "low"}')" != ok ]; then \
+		echo "FAIL: coverage $$total% fell below the $$base% baseline"; exit 1; \
+	fi
+
+# fuzz-smoke runs each fuzz target briefly with the committed seed
+# corpora plus a short randomized exploration — a regression net, not a
+# bug hunt (leave -fuzztime high and unattended for that).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/tokenize
+	$(GO) test -run='^$$' -fuzz=FuzzRecordCodec -fuzztime=$(FUZZTIME) ./internal/records
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRun -fuzztime=$(FUZZTIME) ./internal/mapreduce
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -10,55 +10,90 @@
 //
 //	datagen -n 4800 -style dblp -seed 42 -out r.tsv
 //	datagen -n 5200 -style citeseer -seed 42 -overlap 0.5 -out s.tsv
+//
+// Output is a pure function of the flags: the same invocation produces
+// byte-identical corpora on every run, platform, and GOMAXPROCS setting
+// (the golden test in this package pins that).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fuzzyjoin/internal/datagen"
 	"fuzzyjoin/internal/records"
 )
 
-func main() {
-	var (
-		n       = flag.Int("n", 5000, "records in the base (x1) corpus")
-		style   = flag.String("style", "dblp", "corpus style: dblp or citeseer")
-		seed    = flag.Int64("seed", 42, "generation seed")
-		factor  = flag.Int("factor", 1, "apply the paper's xN increase method")
-		overlap = flag.Float64("overlap", 0, "fraction of records derived from a same-seed DBLP-like corpus (for the S side of an R-S join)")
-		baseN   = flag.Int("overlapBase", 4800, "size of the same-seed base corpus -overlap derives from")
-		start   = flag.Uint64("startRID", 1, "first RID")
-		out     = flag.String("out", "", "output file; defaults to stdout")
-	)
-	flag.Parse()
+// corpusOpts mirrors the command-line flags.
+type corpusOpts struct {
+	N        int
+	Style    string
+	Seed     int64
+	Factor   int
+	Overlap  float64
+	BaseN    int
+	StartRID uint64
+}
 
-	spec := datagen.Spec{Records: *n, Seed: *seed, StartRID: *start}
-	switch *style {
+// buildCorpus generates the corpus an invocation with these options
+// writes. Deterministic: equal options always yield equal records.
+func buildCorpus(o corpusOpts) ([]records.Record, error) {
+	spec := datagen.Spec{Records: o.N, Seed: o.Seed, StartRID: o.StartRID}
+	switch o.Style {
 	case "dblp":
 		spec.Style = datagen.DBLPLike
 	case "citeseer":
 		spec.Style = datagen.CiteseerLike
 	default:
-		fmt.Fprintf(os.Stderr, "datagen: unknown style %q\n", *style)
-		os.Exit(2)
+		return nil, fmt.Errorf("unknown style %q", o.Style)
 	}
 
 	var recs []records.Record
-	if *overlap > 0 {
-		base := datagen.Generate(datagen.Spec{Records: *baseN, Seed: *seed, Style: datagen.DBLPLike})
+	if o.Overlap > 0 {
+		base := datagen.Generate(datagen.Spec{Records: o.BaseN, Seed: o.Seed, Style: datagen.DBLPLike})
 		if spec.StartRID == 1 {
-			spec.StartRID = uint64(*baseN) * 100
+			spec.StartRID = uint64(o.BaseN) * 100
 		}
-		recs = datagen.GenerateOverlapping(base, spec, *overlap)
+		recs = datagen.GenerateOverlapping(base, spec, o.Overlap)
 	} else {
 		recs = datagen.Generate(spec)
 	}
-	recs = datagen.Increase(recs, *factor)
+	return datagen.Increase(recs, o.Factor), nil
+}
 
-	w := bufio.NewWriter(os.Stdout)
+// writeCorpus renders the records in the tab-separated line format.
+func writeCorpus(w io.Writer, recs []records.Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		fmt.Fprintln(bw, r.Line())
+	}
+	return bw.Flush()
+}
+
+func main() {
+	var (
+		o   corpusOpts
+		out = flag.String("out", "", "output file; defaults to stdout")
+	)
+	flag.IntVar(&o.N, "n", 5000, "records in the base (x1) corpus")
+	flag.StringVar(&o.Style, "style", "dblp", "corpus style: dblp or citeseer")
+	flag.Int64Var(&o.Seed, "seed", 42, "generation seed")
+	flag.IntVar(&o.Factor, "factor", 1, "apply the paper's xN increase method")
+	flag.Float64Var(&o.Overlap, "overlap", 0, "fraction of records derived from a same-seed DBLP-like corpus (for the S side of an R-S join)")
+	flag.IntVar(&o.BaseN, "overlapBase", 4800, "size of the same-seed base corpus -overlap derives from")
+	flag.Uint64Var(&o.StartRID, "startRID", 1, "first RID")
+	flag.Parse()
+
+	recs, err := buildCorpus(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -66,15 +101,12 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		w = bufio.NewWriter(f)
+		w = f
 	}
-	for _, r := range recs {
-		fmt.Fprintln(w, r.Line())
-	}
-	if err := w.Flush(); err != nil {
+	if err := writeCorpus(w, recs); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "datagen: wrote %d records (%s, avg %d B)\n",
-		len(recs), spec.Style, datagen.AvgRecordBytes(recs))
+		len(recs), o.Style, datagen.AvgRecordBytes(recs))
 }

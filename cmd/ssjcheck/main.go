@@ -1,0 +1,147 @@
+// Command ssjcheck is the conformance harness CLI: it generates a
+// seeded randomized workload, sweeps every pipeline variant in the
+// configuration matrix (stage combos × join kind × routing × block
+// processing × execution mode) against an exact record-level oracle,
+// and checks the metamorphic invariant suite. Any divergence is
+// reported with a minimized reproducer — the exact ssjcheck command
+// line that re-creates it.
+//
+// Usage:
+//
+//	ssjcheck [-seed S] [-records N] [-vocab V] [-tau T]
+//	         [-skew Z] [-neardup R] [-title-min N] [-title-max N] [-overlap F]
+//	         [-join self,rs] [-combo LIST] [-routing LIST] [-blocks LIST] [-exec LIST]
+//	         [-sweep] [-invariants] [-minimize] [-v]
+//
+// The matrix filters take comma-separated allowlists (empty = all):
+// combos like "BTO-PK-BRJ,OPTO-BK-OPRJ", routings "individual,grouped",
+// blocks "none,map,reduce", execs "plain,faults,parallel".
+//
+// Exit status is 0 when every variant matches the oracle and every
+// invariant holds, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fuzzyjoin/internal/conformance"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ssjcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed     = fs.Int64("seed", 1, "workload generation seed")
+		nrec     = fs.Int("records", 0, "corpus size per relation (default 40)")
+		vocab    = fs.Int("vocab", 0, "token dictionary size (default 512)")
+		tau      = fs.Float64("tau", 0, "similarity threshold (default 0.8)")
+		skew     = fs.Float64("skew", 0, "Zipf token-frequency exponent (default 1.3)")
+		neardup  = fs.Float64("neardup", 0, "near-duplicate fraction (default 0.2; negative disables)")
+		titleMin = fs.Int("title-min", 0, "minimum title length in words (default 6)")
+		titleMax = fs.Int("title-max", 0, "maximum title length in words (default 12)")
+		overlap  = fs.Float64("overlap", 0, "fraction of S derived from R in R-S workloads (default 0.5)")
+
+		joins    = fs.String("join", "", "join kinds to sweep: self,rs (empty = both)")
+		combos   = fs.String("combo", "", "stage combos to sweep, e.g. BTO-PK-BRJ (empty = all eight)")
+		routings = fs.String("routing", "", "token routings to sweep: individual,grouped (empty = both)")
+		blocks   = fs.String("blocks", "", "block modes to sweep: none,map,reduce (empty = all)")
+		execs    = fs.String("exec", "", "execution modes to sweep: plain,faults,parallel (empty = all)")
+
+		sweep      = fs.Bool("sweep", true, "run the matrix sweep against the oracle")
+		invariants = fs.Bool("invariants", true, "run the metamorphic invariant suite")
+		minimize   = fs.Bool("minimize", true, "shrink failing workloads before reporting")
+		verbose    = fs.Bool("v", false, "log every variant and invariant as it runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ssjcheck: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	w := conformance.Workload{
+		Records:     *nrec,
+		Seed:        *seed,
+		Vocab:       *vocab,
+		Skew:        *skew,
+		TitleMin:    *titleMin,
+		TitleMax:    *titleMax,
+		NearDupRate: *neardup,
+		Overlap:     *overlap,
+	}
+	p := conformance.Params{Threshold: *tau}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		}
+	}
+
+	failures := 0
+	if *sweep {
+		variants, err := conformance.Matrix(conformance.Filter{
+			Joins:    *joins,
+			Combos:   *combos,
+			Routings: *routings,
+			Blocks:   *blocks,
+			Execs:    *execs,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "ssjcheck:", err)
+			return 2
+		}
+		if len(variants) == 0 {
+			fmt.Fprintln(stderr, "ssjcheck: matrix filter selected no variants")
+			return 2
+		}
+		start := time.Now()
+		rep := conformance.Sweep(w, p, variants, conformance.SweepOptions{
+			Logf:       logf,
+			NoMinimize: !*minimize,
+		})
+		oracle := ""
+		if rep.OraclePairsSelf >= 0 {
+			oracle += fmt.Sprintf(" self=%d", rep.OraclePairsSelf)
+		}
+		if rep.OraclePairsRS >= 0 {
+			oracle += fmt.Sprintf(" rs=%d", rep.OraclePairsRS)
+		}
+		fmt.Fprintf(stdout, "sweep: %d variants, seed %d, %d records, oracle pairs%s (%v)\n",
+			rep.Variants, rep.Workload.Seed, rep.Workload.Records, oracle,
+			time.Since(start).Round(time.Millisecond))
+		for _, d := range rep.Divergences {
+			fmt.Fprintf(stdout, "DIVERGENCE %s\n", d)
+		}
+		failures += len(rep.Divergences)
+	}
+	if *invariants {
+		start := time.Now()
+		fails := conformance.CheckInvariants(w, p, logf)
+		fmt.Fprintf(stdout, "invariants: 4 checked, %d failed (%v)\n",
+			len(fails), time.Since(start).Round(time.Millisecond))
+		for _, f := range fails {
+			fmt.Fprintf(stdout, "INVARIANT %s\n", f)
+		}
+		failures += len(fails)
+	}
+	if !*sweep && !*invariants {
+		fmt.Fprintln(stderr, "ssjcheck: nothing to do (-sweep=false -invariants=false)")
+		return 2
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d divergence(s)\n", failures)
+		return 1
+	}
+	fmt.Fprintln(stdout, "PASS: all variants conform")
+	return 0
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmallSweep drives the CLI end to end on a tiny matrix subset.
+func TestRunSmallSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-seed", "3", "-records", "24",
+		"-combo", "BTO-PK-BRJ", "-exec", "plain",
+		"-invariants=false",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("no PASS line in output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "sweep: 4 variants") { // 2 joins × 2 routings
+		t.Fatalf("unexpected variant count: %s", out.String())
+	}
+}
+
+func TestRunInvariantsOnly(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-seed", "4", "-records", "24", "-sweep=false"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "invariants: 4 checked, 0 failed") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-blocks", "mpa"},                    // typo'd filter value
+		{"-sweep=false", "-invariants=false"}, // nothing to do
+		{"stray-arg"},                         // positional args
+		{"-no-such-flag"},                     // unknown flag
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%q) exit %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fuzzyjoin/internal/core"
+	"fuzzyjoin/internal/datagen"
+	"fuzzyjoin/internal/ppjoin"
+	"fuzzyjoin/internal/records"
+)
+
+// Metamorphic invariants: properties that must hold between *related*
+// pipeline runs, catching bug classes a single oracle diff cannot (an
+// oracle sharing a wrong assumption with the pipeline would agree with
+// it; these checks need no ground truth at all).
+
+// InvariantFailure is one violated invariant.
+type InvariantFailure struct {
+	// Name identifies the invariant ("threshold-monotonicity", ...).
+	Name string
+	// Detail describes the violation.
+	Detail string
+	// Repro re-runs the invariant suite on this workload.
+	Repro string
+}
+
+func (f InvariantFailure) String() string {
+	return fmt.Sprintf("%s: %s\n  repro: %s", f.Name, f.Detail, f.Repro)
+}
+
+// invariantVariant is the reference pipeline configuration invariants
+// run under. The matrix sweep already certifies all variants equal;
+// invariants only need one representative.
+func invariantVariant(rs bool) Variant {
+	return Variant{RS: rs, TokenOrder: core.BTO, Kernel: core.PK, RecordJoin: core.BRJ}
+}
+
+func invariantRepro(w Workload, p Params) string {
+	w = w.fill()
+	p = p.fill()
+	return fmt.Sprintf("ssjcheck -seed %d -records %d -vocab %d -tau %g -sweep=false -invariants",
+		w.Seed, w.Records, w.Vocab, p.Threshold)
+}
+
+// CheckInvariants runs the metamorphic invariant suite on the workload:
+//
+//   - threshold monotonicity: the result at τ+0.1 is a subset of the
+//     result at τ, with identical similarities;
+//   - permutation invariance: shuffling the input record order leaves
+//     the result set unchanged;
+//   - duplication invariance: appending exact copies (fresh RIDs) of
+//     some records neither adds nor removes pairs among the original
+//     RIDs, and each copy joins its source at similarity 1;
+//   - R-S/self equivalence: an R-S join of a relation against its own
+//     content equals the self-join result mirrored to ordered pairs
+//     plus the identity diagonal.
+//
+// Logf (optional) receives one line per invariant.
+func CheckInvariants(w Workload, p Params, logf func(format string, args ...any)) []InvariantFailure {
+	w = w.fill()
+	p = p.fill()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var out []InvariantFailure
+	fail := func(name, detail string, args ...any) {
+		out = append(out, InvariantFailure{
+			Name: name, Detail: fmt.Sprintf(detail, args...), Repro: invariantRepro(w, p),
+		})
+		logf("FAIL %s", name)
+	}
+	recs := w.SelfRecords()
+	lines := datagen.Lines(recs)
+	v := invariantVariant(false)
+
+	base, err := v.runLinesSelf(w, p, lines)
+	if err != nil {
+		fail("baseline", "pipeline error: %v", err)
+		return out
+	}
+
+	// Threshold monotonicity: raising τ can only remove pairs.
+	hi := p.Threshold + 0.1
+	if hi < 1 {
+		ph := p
+		ph.Threshold = hi
+		strict, err := v.runLinesSelf(w, ph, lines)
+		if err != nil {
+			fail("threshold-monotonicity", "pipeline error at τ=%g: %v", hi, err)
+		} else if d := diffSubset(strict, base); d != "" {
+			fail("threshold-monotonicity", "τ=%g result not a subset of τ=%g result: %s", hi, p.Threshold, d)
+		} else {
+			logf("ok   threshold-monotonicity (τ=%g: %d pairs ⊆ τ=%g: %d pairs)",
+				hi, len(strict), p.Threshold, len(base))
+		}
+	}
+
+	// Permutation invariance: record order is not part of the input's
+	// meaning.
+	perm := append([]string(nil), lines...)
+	rand.New(rand.NewSource(w.Seed^0x9e3779b9)).Shuffle(len(perm), func(i, j int) {
+		perm[i], perm[j] = perm[j], perm[i]
+	})
+	permuted, err := v.runLinesSelf(w, p, perm)
+	if err != nil {
+		fail("permutation-invariance", "pipeline error: %v", err)
+	} else if d := Diff(permuted, base); d != "" {
+		fail("permutation-invariance", "shuffled input changed the result: %s", d)
+	} else {
+		logf("ok   permutation-invariance (%d pairs)", len(base))
+	}
+
+	// Duplication invariance: append exact copies of the first few
+	// records under fresh RIDs.
+	nCopy := 5
+	if nCopy > len(recs) {
+		nCopy = len(recs)
+	}
+	maxRID := uint64(0)
+	for _, r := range recs {
+		if r.RID > maxRID {
+			maxRID = r.RID
+		}
+	}
+	dup := append([]string(nil), lines...)
+	type clone struct{ src, rid uint64 }
+	var clones []clone
+	for i := 0; i < nCopy; i++ {
+		c := recs[i]
+		c.RID = maxRID + 1 + uint64(i)
+		dup = append(dup, c.Line())
+		clones = append(clones, clone{src: recs[i].RID, rid: c.RID})
+	}
+	dupRes, err := v.runLinesSelf(w, p, dup)
+	if err != nil {
+		fail("duplication-invariance", "pipeline error: %v", err)
+	} else {
+		var restricted []records.RIDPair
+		for _, pr := range dupRes {
+			if pr.A <= maxRID && pr.B <= maxRID {
+				restricted = append(restricted, pr)
+			}
+		}
+		if d := Diff(restricted, base); d != "" {
+			fail("duplication-invariance", "duplicates changed pairs among original RIDs: %s", d)
+		} else {
+			missing := ""
+			for _, c := range clones {
+				if !hasPair(dupRes, c.src, c.rid, 1.0) {
+					missing = fmt.Sprintf("clone pair (%d,%d) at sim 1 absent", c.src, c.rid)
+					break
+				}
+			}
+			if missing != "" {
+				fail("duplication-invariance", "%s", missing)
+			} else {
+				logf("ok   duplication-invariance (%d clones)", len(clones))
+			}
+		}
+	}
+
+	// R-S/self equivalence: joining a relation against its own content
+	// must reproduce the self-join as ordered pairs plus the diagonal.
+	rsv := invariantVariant(true)
+	rsGot, err := rsv.runLinesRS(w, p, lines, lines)
+	if err != nil {
+		fail("rs-self-equivalence", "pipeline error: %v", err)
+	} else {
+		want := make([]records.RIDPair, 0, 2*len(base)+len(recs))
+		for _, pr := range base {
+			want = append(want, pr, records.RIDPair{A: pr.B, B: pr.A, Sim: pr.Sim})
+		}
+		for _, r := range recs {
+			if len(p.Tokenizer.Tokenize(r.JoinAttr(p.JoinFields...))) > 0 {
+				want = append(want, records.RIDPair{A: r.RID, B: r.RID, Sim: 1})
+			}
+		}
+		ppjoin.SortPairs(want)
+		if d := Diff(rsGot, want); d != "" {
+			fail("rs-self-equivalence", "R-S join with S=R differs from mirrored self-join: %s", d)
+		} else {
+			logf("ok   rs-self-equivalence (%d ordered pairs)", len(rsGot))
+		}
+	}
+	return out
+}
+
+// diffSubset reports the first pair of sub absent from (or differing
+// in similarity within) super, both canonically sorted ("" when sub ⊆
+// super).
+func diffSubset(sub, super []records.RIDPair) string {
+	j := 0
+	for _, s := range sub {
+		for j < len(super) && (super[j].A < s.A || (super[j].A == s.A && super[j].B < s.B)) {
+			j++
+		}
+		if j >= len(super) || super[j].A != s.A || super[j].B != s.B {
+			return fmt.Sprintf("pair (%d,%d) sim %.6f absent from superset", s.A, s.B, s.Sim)
+		}
+		if d := super[j].Sim - s.Sim; d > simTol || d < -simTol {
+			return fmt.Sprintf("pair (%d,%d): sim %.9f vs %.9f", s.A, s.B, s.Sim, super[j].Sim)
+		}
+	}
+	return ""
+}
+
+// hasPair reports whether pairs (canonically sorted) contains (a,b) at
+// the given similarity (within tolerance), in either orientation.
+func hasPair(pairs []records.RIDPair, a, b uint64, sim float64) bool {
+	if a > b {
+		a, b = b, a
+	}
+	for _, p := range pairs {
+		if p.A == a && p.B == b {
+			d := p.Sim - sim
+			return d <= simTol && d >= -simTol
+		}
+	}
+	return false
+}

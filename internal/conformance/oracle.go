@@ -1,0 +1,128 @@
+package conformance
+
+import (
+	"sort"
+
+	"fuzzyjoin/internal/ppjoin"
+	"fuzzyjoin/internal/records"
+	"fuzzyjoin/internal/simfn"
+	"fuzzyjoin/internal/tokenize"
+)
+
+// Params fixes the join semantics a workload is verified under; it is
+// the subset of core.Config that defines the *result*, as opposed to
+// how the result is computed.
+type Params struct {
+	// Tokenizer converts join attributes to token sets (default word
+	// tokenization, like the pipeline).
+	Tokenizer tokenize.Tokenizer
+	// JoinFields are the record fields joined on (default title +
+	// authors, like the pipeline).
+	JoinFields []int
+	// Fn and Threshold are the similarity function and its τ (defaults
+	// Jaccard, 0.8).
+	Fn        simfn.Func
+	Threshold float64
+}
+
+func (p Params) fill() Params {
+	if p.Tokenizer == nil {
+		p.Tokenizer = tokenize.Word{}
+	}
+	if len(p.JoinFields) == 0 {
+		p.JoinFields = []int{records.FieldTitle, records.FieldAuthors}
+	}
+	if p.Threshold == 0 {
+		p.Threshold = 0.8
+	}
+	return p
+}
+
+func (p Params) opts() ppjoin.Options {
+	return ppjoin.Options{Fn: p.Fn, Threshold: p.Threshold}
+}
+
+// lexRanks converts records to ppjoin items under a *lexicographic*
+// token ranking — deliberately not the pipeline's frequency ranking.
+// Similarity over sets is invariant under any token-to-rank bijection,
+// so verifying the pipeline (frequency-ranked) against an oracle ranked
+// a different way also certifies that nothing in the pipeline depends
+// on the ordering beyond the prefix-filter optimization it enables.
+// dict, when non-nil, restricts tokens to those present in it (the R-S
+// semantics of §4: S tokens outside R's dictionary cannot produce
+// candidates and are discarded before similarity is computed).
+func lexRanks(recs []records.Record, p Params, dict map[string]uint32) []ppjoin.Item {
+	if dict == nil {
+		dict = lexDict(recs, p)
+	}
+	items := make([]ppjoin.Item, len(recs))
+	for i, r := range recs {
+		toks := p.Tokenizer.Tokenize(r.JoinAttr(p.JoinFields...))
+		ranks := make([]uint32, 0, len(toks))
+		for _, t := range toks {
+			if rank, ok := dict[t]; ok {
+				ranks = append(ranks, rank)
+			}
+		}
+		sort.Slice(ranks, func(a, b int) bool { return ranks[a] < ranks[b] })
+		items[i] = ppjoin.Item{RID: r.RID, Ranks: ranks}
+	}
+	return items
+}
+
+// lexDict assigns dense ranks to the distinct tokens of recs in
+// lexicographic order.
+func lexDict(recs []records.Record, p Params) map[string]uint32 {
+	seen := map[string]bool{}
+	for _, r := range recs {
+		for _, t := range p.Tokenizer.Tokenize(r.JoinAttr(p.JoinFields...)) {
+			seen[t] = true
+		}
+	}
+	toks := make([]string, 0, len(seen))
+	for t := range seen {
+		toks = append(toks, t)
+	}
+	sort.Strings(toks)
+	dict := make(map[string]uint32, len(toks))
+	for i, t := range toks {
+		dict[t] = uint32(i)
+	}
+	return dict
+}
+
+// Items converts records to oracle items (lexicographic ranks). It is
+// exported for property tests that pin the single-node kernels against
+// the same oracle inputs the pipeline sweep uses.
+func Items(recs []records.Record, p Params) []ppjoin.Item {
+	return lexRanks(recs, p.fill(), nil)
+}
+
+// ItemsRS converts the two relations of an R-S join to oracle items
+// under the paper's §4 semantics: the token dictionary is built from R
+// only, and S tokens outside it are discarded.
+func ItemsRS(r, s []records.Record, p Params) (rItems, sItems []ppjoin.Item) {
+	p = p.fill()
+	dict := lexDict(r, p)
+	return lexRanks(r, p, dict), lexRanks(s, p, dict)
+}
+
+// OracleSelf computes the exact self-join result over raw records: an
+// unfiltered O(n²) verification of every unordered pair, canonically
+// sorted. This is ground truth for every self-join pipeline variant.
+func OracleSelf(recs []records.Record, p Params) []records.RIDPair {
+	p = p.fill()
+	out := ppjoin.BruteForceSelf(Items(recs, p), p.opts())
+	ppjoin.SortPairs(out)
+	return out
+}
+
+// OracleRS computes the exact R-S join result over raw records, with
+// the R-side RID in A. Ground truth for every R-S pipeline variant.
+func OracleRS(r, s []records.Record, p Params) []records.RIDPair {
+	p = p.fill()
+	rItems, sItems := ItemsRS(r, s, p)
+	out := ppjoin.BruteForceRS(rItems, sItems, p.opts())
+	ppjoin.SortPairs(out)
+	return out
+}

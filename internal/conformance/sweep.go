@@ -1,0 +1,180 @@
+package conformance
+
+import (
+	"fmt"
+
+	"fuzzyjoin/internal/records"
+)
+
+// Divergence is one certification failure: a variant that disagreed
+// with the oracle (Against == "oracle"), with a sibling variant, or
+// that failed outright (Detail holds the error).
+type Divergence struct {
+	// Variant and Against name the disagreeing parties.
+	Variant, Against string
+	// Detail describes the first differing pair or the error.
+	Detail string
+	// Repro is the ssjcheck command line reproducing the failure on
+	// the (minimized) workload.
+	Repro string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s vs %s: %s\n  repro: %s", d.Variant, d.Against, d.Detail, d.Repro)
+}
+
+// Report is the outcome of one sweep.
+type Report struct {
+	// Workload and Params are what was swept.
+	Workload Workload
+	Params   Params
+	// Variants is the number of matrix cells executed.
+	Variants int
+	// OraclePairsSelf and OraclePairsRS are the ground-truth result
+	// sizes (−1 when that join kind was not swept) — a sweep over a
+	// workload with an empty result certifies nothing, so callers can
+	// see the result was non-trivial.
+	OraclePairsSelf, OraclePairsRS int
+	// Divergences lists every failure, oracle divergences first.
+	Divergences []Divergence
+}
+
+// OK reports whether the sweep certified all variants.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// SweepOptions tunes a sweep.
+type SweepOptions struct {
+	// Logf, when non-nil, receives one progress line per variant.
+	Logf func(format string, args ...any)
+	// NoMinimize skips workload shrinking on failure (minimization
+	// re-runs the failing variant several times on smaller workloads).
+	NoMinimize bool
+}
+
+// Sweep runs every variant against the workload and diffs each result
+// set against the exact oracle and against every sibling variant of the
+// same join kind. All variants of one join kind must produce the same
+// result set, and that set must be the oracle's; the first divergence
+// of each failing variant is reported with a minimized reproducer.
+func Sweep(w Workload, p Params, variants []Variant, opt SweepOptions) *Report {
+	w = w.fill()
+	p = p.fill()
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{Workload: w, Params: p, Variants: len(variants),
+		OraclePairsSelf: -1, OraclePairsRS: -1}
+
+	// Ground truth once per join kind.
+	oracle := map[bool][]records.RIDPair{}
+	for _, v := range variants {
+		if _, done := oracle[v.RS]; !done {
+			oracle[v.RS] = v.Oracle(w, p)
+			if v.RS {
+				rep.OraclePairsRS = len(oracle[true])
+			} else {
+				rep.OraclePairsSelf = len(oracle[false])
+			}
+		}
+	}
+
+	// Run every variant, certifying against the oracle as we go.
+	type outcome struct {
+		v     Variant
+		pairs []records.RIDPair
+		ok    bool
+	}
+	outcomes := make([]outcome, 0, len(variants))
+	for _, v := range variants {
+		pairs, err := v.Run(w, p)
+		if err != nil {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Variant: v.Name(), Against: "oracle",
+				Detail: "pipeline error: " + err.Error(),
+				Repro:  v.Flags(w, p),
+			})
+			logf("ERROR %s: %v", v.Name(), err)
+			continue
+		}
+		diff := Diff(pairs, oracle[v.RS])
+		if diff != "" {
+			mw := w
+			if !opt.NoMinimize {
+				mw = minimizeRecords(w, p, v)
+			}
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Variant: v.Name(), Against: "oracle",
+				Detail: diff,
+				Repro:  v.Flags(mw, p),
+			})
+			logf("FAIL %s: %s", v.Name(), diff)
+		} else {
+			logf("ok   %s (%d pairs)", v.Name(), len(pairs))
+		}
+		outcomes = append(outcomes, outcome{v: v, pairs: pairs, ok: diff == ""})
+	}
+
+	// Cross-variant certification: every sibling pair of the same join
+	// kind must agree. When both already equal the oracle this is
+	// implied; the explicit pass catches the asymmetric case where a
+	// sim divergence stays inside the oracle tolerance for one variant
+	// but not another, and names the exact disagreeing pair of
+	// variants for the report.
+	for i := 0; i < len(outcomes); i++ {
+		for j := i + 1; j < len(outcomes); j++ {
+			a, b := outcomes[i], outcomes[j]
+			if a.v.RS != b.v.RS || (a.ok && b.ok) {
+				continue
+			}
+			if diff := Diff(a.pairs, b.pairs); diff != "" {
+				rep.Divergences = append(rep.Divergences, Divergence{
+					Variant: a.v.Name(), Against: b.v.Name(),
+					Detail: diff,
+					Repro:  a.v.Flags(w, p) + "   # and: " + b.v.Flags(w, p),
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// minimizeRecords shrinks a failing workload by lowering Records while
+// the variant still diverges from the oracle. The result is the
+// smallest failing workload found, reproducible from its seed and
+// record count alone.
+func minimizeRecords(w Workload, p Params, v Variant) Workload {
+	return shrinkWorkload(w, func(cand Workload) bool {
+		pairs, err := v.Run(cand, p)
+		if err != nil {
+			return true
+		}
+		return Diff(pairs, v.Oracle(cand, p)) != ""
+	})
+}
+
+// shrinkWorkload greedily lowers Records while fails still holds,
+// probing halves, three-quarter points, and single steps (bounded
+// work: at most ~3 probes per accepted shrink, ~16 shrinks).
+func shrinkWorkload(w Workload, fails func(Workload) bool) Workload {
+	cur := w
+	for round := 0; round < 16; round++ {
+		shrunk := false
+		for _, n := range []int{cur.Records / 2, cur.Records * 3 / 4, cur.Records - 1} {
+			if n < 2 || n >= cur.Records {
+				continue
+			}
+			cand := cur
+			cand.Records = n
+			if fails(cand) {
+				cur = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	return cur
+}

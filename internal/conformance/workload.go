@@ -1,0 +1,95 @@
+// Package conformance is the differential-verification harness: it
+// certifies that every pipeline variant — all eight stage-algorithm
+// combinations, self and R-S joins, individual and grouped token
+// routing, §5 block processing, fault injection, and parallel execution
+// — computes exactly the same similarity join as an exact record-level
+// oracle, and that the pipeline satisfies metamorphic invariants
+// (threshold monotonicity, permutation and duplication invariance,
+// R-S-with-S=R ≡ self-join).
+//
+// The harness is seeded end to end: a failure is reported as an
+// `ssjcheck` command line (seed + config) that reproduces it, after the
+// harness has shrunk the workload to a small failing record count.
+package conformance
+
+import (
+	"fuzzyjoin/internal/datagen"
+	"fuzzyjoin/internal/records"
+)
+
+// RSRIDOffset is where the S relation's RIDs start, keeping the two RID
+// spaces of a generated R-S workload visibly disjoint.
+const RSRIDOffset = 1 << 20
+
+// Workload describes one seeded randomized corpus: everything the
+// generator needs to rebuild the exact same records from the command
+// line of a reproducer.
+type Workload struct {
+	// Records is the corpus size (per relation for R-S joins).
+	Records int
+	// Seed drives all generation. The S relation derives its stream
+	// from Seed+1 so the two relations differ but stay reproducible.
+	Seed int64
+	// Vocab is the token dictionary size (datagen.Spec.VocabSize).
+	Vocab int
+	// Skew is the Zipf exponent of token frequencies (> 1; 0 means the
+	// generator default 1.3).
+	Skew float64
+	// TitleMin and TitleMax bound title lengths in words — the
+	// record-length distribution (0 means the generator defaults 6/12).
+	TitleMin, TitleMax int
+	// NearDupRate is the near-duplicate fraction (0 means the generator
+	// default 0.2; negative disables).
+	NearDupRate float64
+	// Overlap is the fraction of S records derived from R records in
+	// R-S workloads. 0 means 0.5.
+	Overlap float64
+}
+
+func (w Workload) fill() Workload {
+	if w.Records <= 0 {
+		w.Records = 40
+	}
+	if w.Vocab <= 0 {
+		w.Vocab = 512
+	}
+	if w.Overlap <= 0 {
+		w.Overlap = 0.5
+	}
+	return w
+}
+
+func (w Workload) spec() datagen.Spec {
+	return datagen.Spec{
+		Records:     w.Records,
+		Seed:        w.Seed,
+		Style:       datagen.DBLPLike,
+		VocabSize:   w.Vocab,
+		NearDupRate: w.NearDupRate,
+		ZipfSkew:    w.Skew,
+		TitleMin:    w.TitleMin,
+		TitleMax:    w.TitleMax,
+	}
+}
+
+// SelfRecords generates the self-join corpus.
+func (w Workload) SelfRecords() []records.Record {
+	return datagen.Generate(w.fill().spec())
+}
+
+// RSRecords generates the two R-S relations: R is the self-join corpus
+// and S overlaps it (perturbed copies of R records at the Overlap rate,
+// fresh records otherwise), with RIDs offset by RSRIDOffset.
+//
+// Workloads are pure functions of (Workload), so the minimizer can
+// shrink a failure by re-running with smaller Records: any smaller
+// workload that still fails is itself a complete reproducer.
+func (w Workload) RSRecords() (r, s []records.Record) {
+	w = w.fill()
+	r = datagen.Generate(w.spec())
+	sSpec := w.spec()
+	sSpec.Seed = w.Seed + 1
+	sSpec.StartRID = RSRIDOffset
+	s = datagen.GenerateOverlapping(r, sSpec, w.Overlap)
+	return r, s
+}

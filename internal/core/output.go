@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/mapreduce"
+	"fuzzyjoin/internal/records"
+)
+
+// ReadJoined parses a completed join's final output (the part files
+// under Result.Output) into JoinedPair values, in part-file order. The
+// conformance harness and CLIs consume results through this instead of
+// re-implementing the part-file walk and line format.
+func ReadJoined(fs *dfs.FS, outputPrefix string) ([]records.JoinedPair, error) {
+	lines, err := mapreduce.ReadLines(fs, outputPrefix+"/")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]records.JoinedPair, 0, len(lines))
+	for _, l := range lines {
+		if l == "" {
+			continue
+		}
+		jp, err := records.ParseJoinedPair(l)
+		if err != nil {
+			return nil, fmt.Errorf("core: output %q: %w", outputPrefix, err)
+		}
+		out = append(out, jp)
+	}
+	return out, nil
+}
+
+// ReadJoinedPairs reduces a completed join's output to its RID pairs
+// (Left RID, Right RID, similarity) — the record-identity view the
+// conformance oracle diffs against.
+func ReadJoinedPairs(fs *dfs.FS, outputPrefix string) ([]records.RIDPair, error) {
+	joined, err := ReadJoined(fs, outputPrefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]records.RIDPair, len(joined))
+	for i, jp := range joined {
+		out[i] = records.RIDPair{A: jp.Left.RID, B: jp.Right.RID, Sim: jp.Sim}
+	}
+	return out, nil
+}

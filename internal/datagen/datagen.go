@@ -62,6 +62,16 @@ type Spec struct {
 	NearDupRate float64
 	// StartRID numbers records from this RID (default 1).
 	StartRID uint64
+	// ZipfSkew is the Zipf exponent of the title-token frequency
+	// distribution; larger values concentrate more mass on the most
+	// frequent tokens. Must be > 1; defaults to 1.3 (the shape the
+	// repository has always generated).
+	ZipfSkew float64
+	// TitleMin and TitleMax bound the title length in words (the
+	// record-length distribution knob: titles are the join attribute, so
+	// these control token-set sizes). Defaults 6 and 12, the historical
+	// range. TitleMax < TitleMin is treated as TitleMin.
+	TitleMin, TitleMax int
 }
 
 func (s *Spec) fillDefaults() {
@@ -76,6 +86,27 @@ func (s *Spec) fillDefaults() {
 	}
 	if s.StartRID == 0 {
 		s.StartRID = 1
+	}
+	if s.ZipfSkew <= 1 {
+		s.ZipfSkew = 1.3
+	}
+	if s.TitleMin <= 0 {
+		s.TitleMin = 6
+	}
+	if s.TitleMax < s.TitleMin {
+		if s.TitleMax <= 0 {
+			s.TitleMax = s.TitleMin + 6
+		} else {
+			s.TitleMax = s.TitleMin
+		}
+	}
+	// sampleTitle draws distinct words, so titles must stay well under
+	// the dictionary size or generation would spin rejecting duplicates.
+	if limit := s.VocabSize / 2; s.TitleMax > limit {
+		s.TitleMax = limit
+		if s.TitleMin > s.TitleMax {
+			s.TitleMin = s.TitleMax
+		}
 	}
 }
 
@@ -119,7 +150,7 @@ func Generate(spec Spec) []records.Record {
 	rng := rand.New(rand.NewSource(spec.Seed))
 	// Zipf over the vocabulary: rank 0 most frequent, heavy skew like
 	// real word frequencies.
-	zipf := rand.NewZipf(rng, 1.3, 4, uint64(spec.VocabSize-1))
+	zipf := rand.NewZipf(rng, spec.ZipfSkew, 4, uint64(spec.VocabSize-1))
 	authorZipf := rand.NewZipf(rng, 1.2, 8, uint64(spec.VocabSize/8))
 
 	out := make([]records.Record, 0, spec.Records)
@@ -129,7 +160,7 @@ func Generate(spec Spec) []records.Record {
 			out = append(out, perturb(rng, zipf, out[rng.Intn(len(out))], rid))
 			continue
 		}
-		out = append(out, fresh(rng, zipf, authorZipf, spec.Style, rid))
+		out = append(out, fresh(rng, zipf, authorZipf, spec, rid))
 	}
 	return out
 }
@@ -150,8 +181,9 @@ func sampleTitle(rng *rand.Rand, zipf *rand.Zipf, n int) string {
 	return strings.Join(words, " ")
 }
 
-func fresh(rng *rand.Rand, zipf, authorZipf *rand.Zipf, style Style, rid uint64) records.Record {
-	title := sampleTitle(rng, zipf, 6+rng.Intn(7))
+func fresh(rng *rand.Rand, zipf, authorZipf *rand.Zipf, spec Spec, rid uint64) records.Record {
+	style := spec.Style
+	title := sampleTitle(rng, zipf, spec.TitleMin+rng.Intn(spec.TitleMax-spec.TitleMin+1))
 	nAuthors := 1 + rng.Intn(4)
 	authors := make([]string, 0, nAuthors)
 	seen := map[string]bool{}
@@ -320,7 +352,7 @@ func maxRID(recs []records.Record) uint64 {
 func GenerateOverlapping(base []records.Record, spec Spec, overlapRate float64) []records.Record {
 	spec.fillDefaults()
 	rng := rand.New(rand.NewSource(spec.Seed + 0x5eed))
-	zipf := rand.NewZipf(rng, 1.3, 4, uint64(spec.VocabSize-1))
+	zipf := rand.NewZipf(rng, spec.ZipfSkew, 4, uint64(spec.VocabSize-1))
 	fresh := Generate(spec)
 	out := make([]records.Record, len(fresh))
 	for i := range fresh {

@@ -3,6 +3,7 @@ package datagen
 import (
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"fuzzyjoin/internal/ppjoin"
@@ -214,6 +215,54 @@ func TestWordSynthesis(t *testing.T) {
 			t.Fatalf("word(%d) = %q (duplicate or empty)", i, w)
 		}
 		seen[w] = true
+	}
+}
+
+// TestSpecShapeKnobs: the conformance workload generator drives these.
+func TestSpecShapeKnobs(t *testing.T) {
+	// Title lengths honor [TitleMin, TitleMax].
+	recs := Generate(Spec{Records: 200, Seed: 30, NearDupRate: -1, TitleMin: 3, TitleMax: 5})
+	for _, r := range recs {
+		n := len(strings.Fields(r.Fields[records.FieldTitle]))
+		if n < 3 || n > 5 {
+			t.Fatalf("title length %d outside [3, 5]: %q", n, r.Fields[records.FieldTitle])
+		}
+	}
+	// A small vocabulary clamps the title range instead of spinning.
+	tiny := Generate(Spec{Records: 20, Seed: 31, VocabSize: 16, NearDupRate: -1, TitleMin: 10, TitleMax: 40})
+	for _, r := range tiny {
+		if n := len(strings.Fields(r.Fields[records.FieldTitle])); n > 8 {
+			t.Fatalf("title length %d exceeds vocab/2 clamp", n)
+		}
+	}
+	// Higher skew concentrates more mass on the most frequent token.
+	share := func(skew float64) float64 {
+		w := tokenize.Word{}
+		freq := map[string]int{}
+		total := 0
+		for _, r := range Generate(Spec{Records: 500, Seed: 32, NearDupRate: -1, ZipfSkew: skew}) {
+			for _, tok := range w.Tokenize(r.JoinAttr(records.FieldTitle)) {
+				freq[tok]++
+				total++
+			}
+		}
+		max := 0
+		for _, n := range freq {
+			if n > max {
+				max = n
+			}
+		}
+		return float64(max) / float64(total)
+	}
+	if lo, hi := share(1.1), share(2.5); hi <= lo {
+		t.Fatalf("skew 2.5 top-token share %.3f not above skew 1.1 share %.3f", hi, lo)
+	}
+	// Defaults are unchanged: zero-value shape knobs reproduce the
+	// historical generator byte-for-byte.
+	a := Lines(Generate(Spec{Records: 40, Seed: 33}))
+	b := Lines(Generate(Spec{Records: 40, Seed: 33, ZipfSkew: 1.3, TitleMin: 6, TitleMax: 12}))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("explicit default shape knobs changed generation")
 	}
 }
 

@@ -1,6 +1,8 @@
 package ppjoin
 
 import (
+	"sort"
+
 	"fuzzyjoin/internal/filter"
 	"fuzzyjoin/internal/records"
 )
@@ -94,8 +96,10 @@ func NestedLoopRS(rItems, sItems []Item, opts Options, emit func(records.RIDPair
 }
 
 // BruteForceSelf verifies every unordered pair with no filtering — the
-// O(n²) oracle the test suite compares every kernel and pipeline variant
-// against.
+// O(n²) oracle the test suite and the internal/conformance harness
+// compare every kernel and pipeline variant against. It is deliberately
+// independent of the kernels above: no prefix, length, positional, or
+// suffix filtering, just simfn.Verify on every pair.
 func BruteForceSelf(items []Item, opts Options) []records.RIDPair {
 	var out []records.RIDPair
 	for i := 0; i < len(items); i++ {
@@ -125,4 +129,17 @@ func BruteForceRS(rItems, sItems []Item, opts Options) []records.RIDPair {
 		}
 	}
 	return out
+}
+
+// SortPairs orders pairs canonically by (A, B): the shared normal form
+// the conformance harness diffs result sets in. Kernels emit pairs in
+// algorithm-dependent orders; after SortPairs two equal result sets are
+// element-wise equal.
+func SortPairs(pairs []records.RIDPair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
 }
