@@ -41,11 +41,12 @@ smoke:
 	@test -s smoke-out/trace.jsonl && test -s smoke-out/timeline.svg && test -s smoke-out/metrics.json
 	@echo "smoke artifacts in smoke-out/"
 
-# conformance sweeps the full pipeline-variant matrix (192 cells:
-# stage combos × self/R-S × routing × block processing × plain/faulty/
-# parallel execution) against the exact oracle, then runs the
-# metamorphic invariant suite, on a handful of seeded workloads. Any
-# divergence prints a minimized `ssjcheck` reproducer and fails.
+# conformance sweeps the full pipeline-variant matrix (384 cells:
+# stage combos × self/R-S × routing × block processing × bitmap filter
+# off/on × plain/faulty/parallel execution) against the exact oracle,
+# then runs the metamorphic invariant suite, on a handful of seeded
+# workloads. Any divergence prints a minimized `ssjcheck` reproducer and
+# fails.
 conformance:
 	$(GO) run ./cmd/ssjcheck -seed 1 -records 40
 	$(GO) run ./cmd/ssjcheck -seed 2 -records 50 -tau 0.7
@@ -73,14 +74,20 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=$(FUZZTIME) ./internal/tokenize
 	$(GO) test -run='^$$' -fuzz=FuzzRecordCodec -fuzztime=$(FUZZTIME) ./internal/records
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRun -fuzztime=$(FUZZTIME) ./internal/mapreduce
+	$(GO) test -run='^$$' -fuzz=FuzzVerifyExact -fuzztime=$(FUZZTIME) ./internal/simfn
+	$(GO) test -run='^$$' -fuzz=FuzzBitsigAdmissible -fuzztime=$(FUZZTIME) ./internal/bitsig
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # bench-engine runs the shuffle-datapath micro-benchmarks (sort, merge,
-# round-trip) and records the parsed results to BENCH_engine.json; the
-# raw benchmark lines still print to the terminal via stderr.
+# round-trip) plus the verification-kernel benchmarks (candidate-heavy
+# workload, bitmap filter off and on) and records the parsed results to
+# BENCH_engine.json; the raw benchmark lines still print to the terminal
+# via stderr.
 bench-engine:
-	$(GO) test -run='^$$' -bench='BenchmarkSortPairs|BenchmarkMergeStream|BenchmarkShuffleRoundTrip' \
-		-benchmem -count=3 ./internal/mapreduce | $(GO) run ./cmd/bench2json > BENCH_engine.json
+	{ $(GO) test -run='^$$' -bench='BenchmarkSortPairs|BenchmarkMergeStream|BenchmarkShuffleRoundTrip' \
+		-benchmem -count=3 ./internal/mapreduce && \
+	  $(GO) test -run='^$$' -bench='BenchmarkVerify' \
+		-benchmem -count=3 ./internal/ppjoin ; } | $(GO) run ./cmd/bench2json > BENCH_engine.json
 	@echo "results recorded to BENCH_engine.json"

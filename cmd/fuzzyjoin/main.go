@@ -39,6 +39,7 @@ func main() {
 		s1     = flag.String("stage1", "BTO", "token ordering: BTO or OPTO")
 		s2     = flag.String("stage2", "PK", "kernel: BK or PK")
 		s3     = flag.String("stage3", "BRJ", "record join: BRJ or OPRJ")
+		bitmap = flag.Bool("bitmap", false, "enable the bitmap-signature verification fast path (identical output, fewer verifications)")
 		red    = flag.Int("reducers", 8, "reduce tasks per job")
 		par    = flag.Int("par", 0, "host parallelism (0 = all CPUs; wall-clock only, never affects output)")
 		stats  = flag.Bool("stats", false, "print per-stage statistics to stderr")
@@ -72,6 +73,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.BitmapFilter = *bitmap
 	cfg.Retry = fuzzyjoin.RetryPolicy{
 		MaxAttempts:    *maxAttempts,
 		Backoff:        *backoff,

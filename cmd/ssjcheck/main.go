@@ -1,7 +1,8 @@
 // Command ssjcheck is the conformance harness CLI: it generates a
 // seeded randomized workload, sweeps every pipeline variant in the
 // configuration matrix (stage combos × join kind × routing × block
-// processing × execution mode) against an exact record-level oracle,
+// processing × bitmap filter × execution mode) against an exact
+// record-level oracle,
 // and checks the metamorphic invariant suite. Any divergence is
 // reported with a minimized reproducer — the exact ssjcheck command
 // line that re-creates it.
@@ -10,12 +11,14 @@
 //
 //	ssjcheck [-seed S] [-records N] [-vocab V] [-tau T]
 //	         [-skew Z] [-neardup R] [-title-min N] [-title-max N] [-overlap F]
-//	         [-join self,rs] [-combo LIST] [-routing LIST] [-blocks LIST] [-exec LIST]
+//	         [-join self,rs] [-combo LIST] [-routing LIST] [-blocks LIST]
+//	         [-bitmap LIST] [-exec LIST]
 //	         [-sweep] [-invariants] [-minimize] [-v]
 //
 // The matrix filters take comma-separated allowlists (empty = all):
 // combos like "BTO-PK-BRJ,OPTO-BK-OPRJ", routings "individual,grouped",
-// blocks "none,map,reduce", execs "plain,faults,parallel".
+// blocks "none,map,reduce", bitmaps "off,on", execs
+// "plain,faults,parallel".
 //
 // Exit status is 0 when every variant matches the oracle and every
 // invariant holds, 1 otherwise.
@@ -53,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		combos   = fs.String("combo", "", "stage combos to sweep, e.g. BTO-PK-BRJ (empty = all eight)")
 		routings = fs.String("routing", "", "token routings to sweep: individual,grouped (empty = both)")
 		blocks   = fs.String("blocks", "", "block modes to sweep: none,map,reduce (empty = all)")
+		bitmaps  = fs.String("bitmap", "", "bitmap filter settings to sweep: off,on (empty = both)")
 		execs    = fs.String("exec", "", "execution modes to sweep: plain,faults,parallel (empty = all)")
 
 		sweep      = fs.Bool("sweep", true, "run the matrix sweep against the oracle")
@@ -94,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Combos:   *combos,
 			Routings: *routings,
 			Blocks:   *blocks,
+			Bitmaps:  *bitmaps,
 			Execs:    *execs,
 		})
 		if err != nil {

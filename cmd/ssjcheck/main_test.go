@@ -19,7 +19,7 @@ func TestRunSmallSweep(t *testing.T) {
 	if !strings.Contains(out.String(), "PASS") {
 		t.Fatalf("no PASS line in output: %s", out.String())
 	}
-	if !strings.Contains(out.String(), "sweep: 4 variants") { // 2 joins × 2 routings
+	if !strings.Contains(out.String(), "sweep: 8 variants") { // 2 joins × 2 routings × 2 bitmap settings
 		t.Fatalf("unexpected variant count: %s", out.String())
 	}
 }

@@ -1,0 +1,74 @@
+// Package bitsig implements fixed-width bit signatures for the
+// verification fast path (the Bitmap Filter technique of Qin et al.,
+// arXiv 1711.07295): each record's token set is folded into a 256-bit
+// signature, and a pair's signatures give a word-parallel upper bound on
+// the overlap |x∩y| from four XORs and four popcounts — enough to reject
+// most non-joining candidates before the merge-based simfn.Verify runs.
+//
+// Admissibility argument. Signatures OR together the bits (rank mod 256)
+// of every token. Consider a bit set in exactly one of the two
+// signatures, say x's: some token of x maps to it, and no token of y
+// does — so that token is in x∖y. Distinct such bits witness distinct
+// elements (a token maps to exactly one bit), hence
+//
+//	popcount(sig(x) XOR sig(y)) ≤ |xΔy| = |x| + |y| − 2|x∩y|
+//
+// and |x∩y| ≤ ⌊(|x| + |y| − popcount(XOR)) / 2⌋ — an upper bound that
+// collisions can only weaken, never invert. Rejecting a candidate whose
+// bound falls below the (exact) required overlap therefore never drops a
+// pair the exact verifier would accept; FuzzBitsigAdmissible pins this
+// against simfn directly.
+package bitsig
+
+import "math/bits"
+
+const (
+	// Words is the signature width in 64-bit words.
+	Words = 4
+	// Bits is the total signature width. It must stay a power of two:
+	// folding uses rank & (Bits−1).
+	Bits = 64 * Words
+)
+
+// Sig is one record's fixed-width bit signature.
+type Sig [Words]uint64
+
+// Make folds a rank slice into its signature.
+func Make(ranks []uint32) Sig {
+	var s Sig
+	for _, r := range ranks {
+		b := r & (Bits - 1)
+		s[b>>6] |= 1 << (b & 63)
+	}
+	return s
+}
+
+// HammingXor returns popcount(s XOR t), a lower bound on |xΔy| of the
+// underlying sets.
+func (s Sig) HammingXor(t Sig) int {
+	n := 0
+	for i := range s {
+		n += bits.OnesCount64(s[i] ^ t[i])
+	}
+	return n
+}
+
+// MaxOverlap returns the upper bound ⌊(lx+ly−h)/2⌋ on |x∩y| for sets of
+// sizes lx and ly whose signatures have XOR popcount h.
+func MaxOverlap(lx, ly, h int) int {
+	m := lx + ly - h
+	if m < 0 {
+		// h ≤ lx+ly whenever the signatures match the sets; guard anyway
+		// so a stale signature degrades to "reject" rather than a
+		// negative bound.
+		return 0
+	}
+	return m / 2
+}
+
+// Admits reports whether sets of sizes lx and ly with XOR popcount h can
+// still contain an overlap of at least need. A false return is a proof
+// the pair fails the threshold; a true return decides nothing.
+func Admits(lx, ly, h, need int) bool {
+	return MaxOverlap(lx, ly, h) >= need
+}

@@ -1,0 +1,125 @@
+package bitsig
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fuzzyjoin/internal/simfn"
+)
+
+func TestMakeFoldsRanks(t *testing.T) {
+	s := Make([]uint32{0, 63, 64, 255, 256})
+	// 256 folds onto bit 0; 64 lands in the second word.
+	want := Sig{1 | 1<<63, 1, 0, 1 << 63}
+	if s != want {
+		t.Fatalf("Make = %x, want %x", s, want)
+	}
+	if (Sig{}) != Make(nil) {
+		t.Fatal("Make(nil) not zero")
+	}
+}
+
+func TestHammingXor(t *testing.T) {
+	x := Make([]uint32{1, 2, 3})
+	y := Make([]uint32{3, 4})
+	// Bits 1, 2 only in x; bit 4 only in y; bit 3 shared.
+	if h := x.HammingXor(y); h != 3 {
+		t.Fatalf("HammingXor = %d, want 3", h)
+	}
+	if h := x.HammingXor(x); h != 0 {
+		t.Fatalf("self HammingXor = %d, want 0", h)
+	}
+}
+
+func TestMaxOverlapIdenticalSets(t *testing.T) {
+	ranks := []uint32{2, 5, 300, 301}
+	s := Make(ranks)
+	if got := MaxOverlap(4, 4, s.HammingXor(s)); got != 4 {
+		t.Fatalf("MaxOverlap(identical) = %d, want 4", got)
+	}
+}
+
+func TestMaxOverlapGuard(t *testing.T) {
+	if got := MaxOverlap(1, 1, 5); got != 0 {
+		t.Fatalf("MaxOverlap with h > lx+ly = %d, want 0", got)
+	}
+}
+
+// TestAdmissibleRandom: the bound must dominate the true overlap for
+// random sets across universe sizes well above and below Bits (above
+// Bits, fold collisions weaken the bound but must never invert it).
+func TestAdmissibleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, universe := range []uint32{64, 200, 256, 1000, 1 << 20} {
+		for iter := 0; iter < 2000; iter++ {
+			x := randomSet(rng, 40, universe)
+			y := randomSet(rng, 40, universe)
+			h := Make(x).HammingXor(Make(y))
+			if ub, o := MaxOverlap(len(x), len(y), h), simfn.Overlap(x, y); ub < o {
+				t.Fatalf("universe %d: bound %d below true overlap %d (x=%v y=%v)", universe, ub, o, x, y)
+			}
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand, maxLen int, universe uint32) []uint32 {
+	n := rng.Intn(maxLen + 1)
+	seen := map[uint32]bool{}
+	out := []uint32{}
+	for len(out) < n {
+		v := uint32(rng.Intn(int(universe)))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FuzzBitsigAdmissible proves the filter admissible against the exact
+// verifier: whenever simfn.Verify accepts a pair at τ, the bitmap bound
+// must admit it at the exact required overlap — i.e. the fast path never
+// rejects a pair the slow path keeps. The stronger per-pair invariant
+// (bound ≥ true overlap) is checked too.
+func FuzzBitsigAdmissible(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4}, []byte{0, 1, 2, 3}, 0.8)
+	f.Add([]byte{10, 20, 30}, []byte{10, 20, 31}, 0.5)
+	f.Add([]byte{1}, []byte{1}, 1.0)
+	f.Fuzz(func(t *testing.T, a, b []byte, tau float64) {
+		if tau != tau || tau <= 0 || tau > 1 {
+			return
+		}
+		// Spread fuzz bytes over a universe wider than Bits so folding
+		// collisions occur (×37 scatters consecutive byte values).
+		toSet := func(raw []byte) []uint32 {
+			seen := map[uint32]bool{}
+			out := []uint32{}
+			for _, v := range raw {
+				r := uint32(v) * 37 % 1024
+				if !seen[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		x, y := toSet(a), toSet(b)
+		h := Make(x).HammingXor(Make(y))
+		if ub, o := MaxOverlap(len(x), len(y), h), simfn.Overlap(x, y); ub < o {
+			t.Fatalf("bound %d below true overlap %d (x=%v y=%v)", ub, o, x, y)
+		}
+		for _, fn := range []simfn.Func{simfn.Jaccard, simfn.Cosine, simfn.Dice} {
+			if _, ok := fn.Verify(x, y, tau); !ok {
+				continue
+			}
+			need := fn.OverlapThreshold(len(x), len(y), tau)
+			if !Admits(len(x), len(y), h, need) {
+				t.Fatalf("%v τ=%v: bitmap rejected an accepted pair (x=%v y=%v need=%d h=%d)",
+					fn, tau, x, y, need, h)
+			}
+		}
+	})
+}

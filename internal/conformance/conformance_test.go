@@ -119,8 +119,8 @@ func TestMatrixEnumeration(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Per join kind: BK has 4 combos × 3 block modes, PK 4 × 1; times 2
-	// routings × 3 exec modes; times 2 join kinds.
-	if want := 2 * (4*3 + 4*1) * 2 * 3; len(all) != want {
+	// routings × 2 bitmap settings × 3 exec modes; times 2 join kinds.
+	if want := 2 * (4*3 + 4*1) * 2 * 2 * 3; len(all) != want {
 		t.Fatalf("full matrix has %d variants, want %d", len(all), want)
 	}
 	seen := map[string]bool{}
@@ -134,11 +134,14 @@ func TestMatrixEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sub) != 2 { // two routings
-		t.Fatalf("filtered matrix has %d variants, want 2", len(sub))
+	if len(sub) != 4 { // two routings × two bitmap settings
+		t.Fatalf("filtered matrix has %d variants, want 4", len(sub))
 	}
 	if _, err := Matrix(Filter{Blocks: "mpa"}); err == nil {
 		t.Fatal("typo'd filter value accepted")
+	}
+	if _, err := Matrix(Filter{Bitmaps: "enabled"}); err == nil {
+		t.Fatal("unknown bitmap filter value accepted")
 	}
 	if _, err := Matrix(Filter{Combos: "BTO-XX-BRJ"}); err == nil {
 		t.Fatal("unknown combo accepted")
@@ -146,11 +149,11 @@ func TestMatrixEnumeration(t *testing.T) {
 }
 
 func TestVariantFlagsNameReproducer(t *testing.T) {
-	v := Variant{RS: true, Kernel: 0, Block: 1, Exec: ExecFaults} // BTO-BK-BRJ map-blocks
+	v := Variant{RS: true, Kernel: 0, Block: 1, Bitmap: true, Exec: ExecFaults} // BTO-BK-BRJ map-blocks
 	w := Workload{Records: 30, Seed: 9, Skew: 1.5}
 	got := v.Flags(w, Params{Threshold: 0.7})
 	for _, frag := range []string{"-seed 9", "-records 30", "-tau 0.7", "-join rs",
-		"-combo BTO-BK-BRJ", "-blocks map", "-exec faults", "-skew 1.5"} {
+		"-combo BTO-BK-BRJ", "-blocks map", "-bitmap on", "-exec faults", "-skew 1.5"} {
 		if !strings.Contains(got, frag) {
 			t.Fatalf("reproducer %q missing %q", got, frag)
 		}

@@ -46,6 +46,9 @@ type Variant struct {
 	Routing core.Routing
 	// Block is the §5 block-processing mode (BK kernel only).
 	Block core.BlockMode
+	// Bitmap enables the bitmap-filter verification fast path. The
+	// filter is admissible, so both settings must match the oracle.
+	Bitmap bool
 	// Exec is the execution dimension.
 	Exec ExecMode
 }
@@ -72,11 +75,18 @@ func blockFlag(m core.BlockMode) string {
 	}
 }
 
+func bitmapFlag(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
+}
+
 // Name renders the variant compactly, e.g.
-// "self/BTO-BK-BRJ/grouped/blocks=map/faults".
+// "self/BTO-BK-BRJ/grouped/blocks=map/bitmap=on/faults".
 func (v Variant) Name() string {
-	return fmt.Sprintf("%s/%s/%s/blocks=%s/%s",
-		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), v.Exec)
+	return fmt.Sprintf("%s/%s/%s/blocks=%s/bitmap=%s/%s",
+		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), bitmapFlag(v.Bitmap), v.Exec)
 }
 
 // Flags renders the exact ssjcheck invocation that re-runs this single
@@ -84,9 +94,9 @@ func (v Variant) Name() string {
 func (v Variant) Flags(w Workload, p Params) string {
 	w = w.fill()
 	p = p.fill()
-	s := fmt.Sprintf("ssjcheck -seed %d -records %d -vocab %d -tau %g -join %s -combo %s -routing %s -blocks %s -exec %s",
+	s := fmt.Sprintf("ssjcheck -seed %d -records %d -vocab %d -tau %g -join %s -combo %s -routing %s -blocks %s -bitmap %s -exec %s",
 		w.Seed, w.Records, w.Vocab, p.Threshold,
-		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), v.Exec)
+		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), bitmapFlag(v.Bitmap), v.Exec)
 	if w.Skew != 0 {
 		s += fmt.Sprintf(" -skew %g", w.Skew)
 	}
@@ -103,12 +113,13 @@ func (v Variant) Flags(w Workload, p Params) string {
 // lists. Empty fields mean "all". Values match the tokens used in
 // Variant names and ssjcheck flags: joins "self,rs"; combos like
 // "BTO-PK-OPRJ"; routings "individual,grouped"; blocks
-// "none,map,reduce"; execs "plain,faults,parallel".
+// "none,map,reduce"; bitmaps "off,on"; execs "plain,faults,parallel".
 type Filter struct {
 	Joins    string
 	Combos   string
 	Routings string
 	Blocks   string
+	Bitmaps  string
 	Execs    string
 }
 
@@ -167,14 +178,17 @@ func (f Filter) validate() error {
 	if err := check("-blocks", f.Blocks, []string{"none", "map", "reduce"}); err != nil {
 		return err
 	}
+	if err := check("-bitmap", f.Bitmaps, []string{"off", "on"}); err != nil {
+		return err
+	}
 	return check("-exec", f.Execs, []string{"plain", "faults", "parallel"})
 }
 
 // Matrix enumerates every valid variant passing the filter, in a fixed
 // deterministic order: join × token order × kernel × record join ×
-// routing × block mode × exec mode. Block modes other than "none" are
-// only generated for the BK kernel (the §5 strategies are BK-only, as
-// core.Validate enforces).
+// routing × block mode × bitmap × exec mode. Block modes other than
+// "none" are only generated for the BK kernel (the §5 strategies are
+// BK-only, as core.Validate enforces).
 func Matrix(f Filter) ([]Variant, error) {
 	if err := f.validate(); err != nil {
 		return nil, err
@@ -203,15 +217,21 @@ func Matrix(f Filter) ([]Variant, error) {
 							if !keep(f.Blocks, blockFlag(bm)) {
 								continue
 							}
-							for _, exec := range []ExecMode{ExecPlain, ExecFaults, ExecParallel} {
-								if !keep(f.Execs, exec.String()) {
+							for _, bitmap := range []bool{false, true} {
+								if !keep(f.Bitmaps, bitmapFlag(bitmap)) {
 									continue
 								}
-								v2 := v
-								v2.Routing = routing
-								v2.Block = bm
-								v2.Exec = exec
-								out = append(out, v2)
+								for _, exec := range []ExecMode{ExecPlain, ExecFaults, ExecParallel} {
+									if !keep(f.Execs, exec.String()) {
+										continue
+									}
+									v2 := v
+									v2.Routing = routing
+									v2.Block = bm
+									v2.Bitmap = bitmap
+									v2.Exec = exec
+									out = append(out, v2)
+								}
 							}
 						}
 					}

@@ -25,12 +25,13 @@ func (v Variant) config(w Workload, p Params, fs *dfs.FS) core.Config {
 		JoinFields:  p.JoinFields,
 		Fn:          p.Fn,
 		Threshold:   p.Threshold,
-		TokenOrder:  v.TokenOrder,
-		Kernel:      v.Kernel,
-		RecordJoin:  v.RecordJoin,
-		Routing:     v.Routing,
-		NumReducers: 3,
-		Parallelism: 1,
+		TokenOrder:   v.TokenOrder,
+		Kernel:       v.Kernel,
+		RecordJoin:   v.RecordJoin,
+		Routing:      v.Routing,
+		BitmapFilter: v.Bitmap,
+		NumReducers:  3,
+		Parallelism:  1,
 	}
 	if v.Routing == core.GroupedTokens {
 		cfg.NumGroups = 5

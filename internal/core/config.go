@@ -154,6 +154,12 @@ type Config struct {
 	// stack. Point at a zero filter.Stack to run with the prefix filter
 	// alone (the filter ablation does).
 	Filters *filter.Stack
+	// BitmapFilter enables the bitmap-signature fast path in both Stage 2
+	// kernels (internal/bitsig): candidates whose word-parallel overlap
+	// bound falls below the required overlap are rejected before
+	// merge-based verification. Admissible — output is identical with it
+	// on or off.
+	BitmapFilter bool
 
 	// TokenOrder, Kernel, and RecordJoin pick the per-stage algorithms.
 	TokenOrder TokenOrderAlg

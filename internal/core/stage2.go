@@ -158,11 +158,12 @@ func emitRIDPair(out mapreduce.Emitter, p records.RIDPair) error {
 }
 
 func kernelOptions(cfg *Config) ppjoin.Options {
-	return ppjoin.Options{Fn: cfg.Fn, Threshold: cfg.Threshold, Filters: *cfg.Filters}
+	return ppjoin.Options{Fn: cfg.Fn, Threshold: cfg.Threshold, Filters: *cfg.Filters, Bitmap: cfg.BitmapFilter}
 }
 
 func countKernelStats(ctx *mapreduce.Context, st ppjoin.Stats) {
 	ctx.Count("stage2.candidates", st.Candidates)
+	ctx.Count("stage2.bitmap_rejected", st.BitmapRejected)
 	ctx.Count("stage2.verified", st.Verified)
 	ctx.Count("stage2.results", st.Results)
 }
@@ -287,9 +288,7 @@ func (r *bkRSReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapredu
 		if err != nil {
 			return err
 		}
-		st.Candidates += sub.Candidates
-		st.Verified += sub.Verified
-		st.Results += sub.Results
+		st = addStats(st, sub)
 	}
 	countKernelStats(ctx, st)
 	return nil

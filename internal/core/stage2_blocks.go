@@ -197,6 +197,7 @@ func parseMapBlockKey(key []byte) (round uint32, role byte, err error) {
 
 func addStats(a, b ppjoin.Stats) ppjoin.Stats {
 	a.Candidates += b.Candidates
+	a.BitmapRejected += b.BitmapRejected
 	a.Verified += b.Verified
 	a.Results += b.Results
 	return a

@@ -3,6 +3,7 @@ package ppjoin
 import (
 	"sort"
 
+	"fuzzyjoin/internal/bitsig"
 	"fuzzyjoin/internal/filter"
 	"fuzzyjoin/internal/records"
 )
@@ -30,7 +31,7 @@ func firstPrefixMatch(x, y []uint32, px, py int) (i, j int, ok bool) {
 // verifies it, returning the similarity and whether it meets the
 // threshold. Pairs whose prefixes share no token are rejected outright
 // (the prefix-filter necessary condition). Stats are updated.
-func checkPair(x, y Item, opts Options, st *Stats) (float64, bool) {
+func checkPair(x, y *Item, opts Options, st *Stats) (float64, bool) {
 	lx, ly := len(x.Ranks), len(y.Ranks)
 	if lx == 0 || ly == 0 {
 		return 0, false
@@ -52,6 +53,10 @@ func checkPair(x, y Item, opts Options, st *Stats) (float64, bool) {
 	if opts.Filters.Suffix && !filter.Suffix(x.Ranks, y.Ranks, i, j, need) {
 		return 0, false
 	}
+	if opts.Bitmap && !bitsig.Admits(lx, ly, x.Sig().HammingXor(y.Sig()), need) {
+		st.BitmapRejected++
+		return 0, false
+	}
 	st.Verified++
 	sim, ok := opts.Fn.Verify(x.Ranks, y.Ranks, opts.Threshold)
 	if ok {
@@ -68,7 +73,8 @@ func NestedLoopSelf(items []Item, opts Options, emit func(records.RIDPair)) Stat
 	var st Stats
 	for i := 0; i < len(items); i++ {
 		for j := i + 1; j < len(items); j++ {
-			x, y := items[i], items[j]
+			// Pointer access keeps the lazy signature memo in the slice.
+			x, y := &items[i], &items[j]
 			if sim, ok := checkPair(x, y, opts, &st); ok {
 				a, b := x.RID, y.RID
 				if a > b {
@@ -85,8 +91,10 @@ func NestedLoopSelf(items []Item, opts Options, emit func(records.RIDPair)) Stat
 // against every R item. Pairs are (R RID, S RID).
 func NestedLoopRS(rItems, sItems []Item, opts Options, emit func(records.RIDPair)) Stats {
 	var st Stats
-	for _, s := range sItems {
-		for _, r := range rItems {
+	for si := range sItems {
+		s := &sItems[si]
+		for ri := range rItems {
+			r := &rItems[ri]
 			if sim, ok := checkPair(r, s, opts, &st); ok {
 				emit(records.RIDPair{A: r.RID, B: s.RID, Sim: sim})
 			}

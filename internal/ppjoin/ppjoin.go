@@ -16,6 +16,7 @@ package ppjoin
 import (
 	"sort"
 
+	"fuzzyjoin/internal/bitsig"
 	"fuzzyjoin/internal/filter"
 	"fuzzyjoin/internal/records"
 	"fuzzyjoin/internal/simfn"
@@ -25,6 +26,21 @@ import (
 type Item struct {
 	RID   uint64
 	Ranks []uint32
+
+	// sig memoizes the bitmap-filter signature: built on first use so
+	// an R-side item probed by a stream of S items folds its ranks only
+	// once. Kernels run single-threaded per reduce group, so the lazy
+	// fill is race-free.
+	sig    bitsig.Sig
+	hasSig bool
+}
+
+// Sig returns the item's bitmap signature, building it on first call.
+func (it *Item) Sig() bitsig.Sig {
+	if !it.hasSig {
+		it.sig, it.hasSig = bitsig.Make(it.Ranks), true
+	}
+	return it.sig
 }
 
 // Options configures a kernel.
@@ -37,6 +53,11 @@ type Options struct {
 	// Zero value disables all (prefix filter + verification only);
 	// use filter.AllFilters for the full PPJoin+ stack.
 	Filters filter.Stack
+	// Bitmap enables the bitmap-filter fast path (internal/bitsig): a
+	// word-parallel overlap upper bound rejects candidates immediately
+	// before the merge-based verification. Admissible — results are
+	// identical with it on or off.
+	Bitmap bool
 }
 
 // Stats counts kernel work for the ablation experiments.
@@ -44,6 +65,9 @@ type Stats struct {
 	// Candidates is the number of candidate pairs considered (after
 	// prefix filtering, before the other filters).
 	Candidates int64
+	// BitmapRejected is the number of candidates the bitmap filter
+	// rejected just before verification (0 unless Options.Bitmap).
+	BitmapRejected int64
 	// Verified is the number of pairs whose similarity was computed.
 	Verified int64
 	// Results is the number of pairs at or above the threshold.
@@ -72,11 +96,14 @@ type Index struct {
 
 	// Probe scratch state, generation-stamped so probes allocate nothing:
 	// gen[i] == curGen marks item i as seen by the current probe, with
-	// overlap[i] its accumulated prefix overlap and pruned[i] whether a
+	// overlap[i] its accumulated prefix overlap, need[i] the cached
+	// overlap threshold for (probe, item i) — computed once per
+	// candidate, not once per posting entry — and pruned[i] whether a
 	// filter killed it.
 	curGen  uint32
 	gen     []uint32
 	overlap []int32
+	need    []int32
 	pruned  []bool
 	cand    []int
 }
@@ -115,8 +142,13 @@ func (ix *Index) Add(it Item) {
 
 // evictBelow drops every indexed item shorter than minLen. Streaming
 // callers pass the length filter's lower bound for the current probe;
-// because lengths arrive non-decreasing, eviction is monotone.
+// because lengths arrive non-decreasing, eviction is monotone. Evicted
+// items release their rank storage immediately and their posting-list
+// entries are compacted away (entries sit in insertion order, so the
+// dead entries of a list always form a prefix) — without this, tokens
+// the remaining stream never probes would hold their entries forever.
 func (ix *Index) evictBelow(minLen int) {
+	start := ix.head
 	for ix.head < len(ix.items) && ix.lens[ix.head] < minLen {
 		if !ix.evicted[ix.head] {
 			ix.evicted[ix.head] = true
@@ -125,6 +157,45 @@ func (ix *Index) evictBelow(minLen int) {
 		}
 		ix.head++
 	}
+	for i := start; i < ix.head; i++ {
+		it := &ix.items[i]
+		if it.Ranks == nil {
+			continue
+		}
+		p := ix.opts.Fn.PrefixLength(len(it.Ranks), ix.opts.Threshold)
+		for j := 0; j < p; j++ {
+			ix.compactPosting(it.Ranks[j])
+		}
+		it.Ranks = nil // the item can never be probed again; free its ranks
+	}
+}
+
+// compactPosting trims the dead prefix (entries of evicted items) from
+// token w's posting list. Fully dead lists are deleted outright; partly
+// dead lists are rewritten only once the dead prefix reaches half the
+// list, which keeps the trim amortized O(1) per entry while bounding
+// retained garbage to the live entry count.
+func (ix *Index) compactPosting(w uint32) {
+	post := ix.posting[w]
+	k := sort.Search(len(post), func(i int) bool { return post[i].item >= ix.head })
+	switch {
+	case k == 0:
+	case k == len(post):
+		delete(ix.posting, w)
+	case 2*k >= len(post):
+		ix.posting[w] = append(post[:0], post[k:]...)
+	}
+}
+
+// postingEntries reports the posting map's list and entry counts — the
+// test hook for the eviction-compaction invariant (retained entries stay
+// proportional to live items, even for tokens no later probe touches).
+func (ix *Index) postingEntries() (lists, entries int) {
+	for _, post := range ix.posting {
+		lists++
+		entries += len(post)
+	}
+	return lists, entries
 }
 
 // Probe finds all indexed items similar to x and passes them to emit as
@@ -147,6 +218,7 @@ func (ix *Index) Probe(x Item, emit func(pair records.RIDPair)) {
 	if n := len(ix.items); len(ix.gen) < n {
 		ix.gen = append(ix.gen, make([]uint32, n-len(ix.gen))...)
 		ix.overlap = append(ix.overlap, make([]int32, n-len(ix.overlap))...)
+		ix.need = append(ix.need, make([]int32, n-len(ix.need))...)
 		ix.pruned = append(ix.pruned, make([]bool, n-len(ix.pruned))...)
 	}
 	ix.cand = ix.cand[:0]
@@ -164,11 +236,12 @@ func (ix *Index) Probe(x Item, emit func(pair records.RIDPair)) {
 			if seen && ix.pruned[e.item] {
 				continue
 			}
-			y := ix.items[e.item]
+			y := &ix.items[e.item]
 			ly := ix.lens[e.item]
-			var a int
+			var a, need int
 			if seen {
 				a = int(ix.overlap[e.item])
+				need = int(ix.need[e.item])
 			} else {
 				ix.gen[e.item] = ix.curGen
 				ix.overlap[e.item] = 0
@@ -178,8 +251,12 @@ func (ix *Index) Probe(x Item, emit func(pair records.RIDPair)) {
 					ix.pruned[e.item] = true
 					continue
 				}
+				// The overlap threshold depends only on (lx, ly, τ):
+				// compute it once per candidate, not once per posting
+				// entry of an already-seen candidate.
+				need = ix.opts.Fn.OverlapThreshold(lx, ly, ix.opts.Threshold)
+				ix.need[e.item] = int32(need)
 			}
-			need := ix.opts.Fn.OverlapThreshold(lx, ly, ix.opts.Threshold)
 			if ix.opts.Filters.Positional && !filter.Positional(lx, ly, i, e.pos, a+1, need) {
 				ix.pruned[e.item] = true
 				continue
@@ -197,14 +274,24 @@ func (ix *Index) Probe(x Item, emit func(pair records.RIDPair)) {
 	}
 
 	// Verify surviving candidates in index order for deterministic
-	// output.
+	// output. With the bitmap filter on, the word-parallel overlap bound
+	// rejects most failing candidates here for the cost of four XORs and
+	// popcounts, skipping their merge-based verification entirely.
+	var sx bitsig.Sig
+	if ix.opts.Bitmap {
+		sx = x.Sig()
+	}
 	cand := ix.cand
 	sort.Ints(cand)
 	for _, c := range cand {
 		if ix.pruned[c] {
 			continue
 		}
-		y := ix.items[c]
+		y := &ix.items[c]
+		if ix.opts.Bitmap && !bitsig.Admits(lx, ix.lens[c], sx.HammingXor(y.Sig()), int(ix.need[c])) {
+			ix.stats.BitmapRejected++
+			continue
+		}
 		ix.stats.Verified++
 		sim, ok := ix.opts.Fn.Verify(x.Ranks, y.Ranks, ix.opts.Threshold)
 		if ok {

@@ -1,0 +1,47 @@
+package simfn
+
+import (
+	"testing"
+)
+
+// setFromBytes derives a sorted duplicate-free rank set from fuzz bytes,
+// over a universe of 96 tokens so overlaps are common.
+func setFromBytes(b []byte) []uint32 {
+	return sortedSet(func() []uint32 {
+		out := make([]uint32, len(b))
+		for i, v := range b {
+			out[i] = uint32(v) % 96
+		}
+		return out
+	}())
+}
+
+// FuzzVerifyExact fuzzes the merge-based verifier against the big.Int
+// reference: for arbitrary sets and thresholds, Verify's accept decision
+// must equal exact rational comparison of the true overlap against the
+// rationalized τ — no epsilon, no float rounding.
+func FuzzVerifyExact(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4}, []byte{0, 1, 2, 3}, 0.8)
+	f.Add([]byte{0, 1, 2, 3, 4}, []byte{0, 1, 2, 3, 9}, 0.8)
+	f.Add([]byte{5, 6, 7}, []byte{8, 9, 10}, 0.5)
+	f.Add([]byte{}, []byte{1}, 0.7)
+	f.Fuzz(func(t *testing.T, a, b []byte, tau float64) {
+		if tau != tau || tau < 0 || tau > 1 { // NaN or out of range
+			return
+		}
+		x, y := setFromBytes(a), setFromBytes(b)
+		num, den := Rationalize(tau)
+		for _, fn := range []Func{Jaccard, Cosine, Dice} {
+			sim, ok := fn.Verify(x, y, tau)
+			want := len(x) > 0 && len(y) > 0 &&
+				refAccept(fn, Overlap(x, y), len(x), len(y), num, den)
+			if tau <= 0 {
+				want = true // threshold 0 admits everything, empty sets included
+			}
+			if ok != want {
+				t.Fatalf("%v τ=%v (%d/%d) x=%v y=%v: Verify ok=%v, reference=%v (sim=%v)",
+					fn, tau, num, den, x, y, ok, want, sim)
+			}
+		}
+	})
+}

@@ -25,6 +25,7 @@ package simfn
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Func identifies a set-similarity function.
@@ -108,25 +109,124 @@ func (f Func) simFromOverlap(o, lx, ly int) float64 {
 	}
 }
 
-// eps guards the ceil/floor computations below against float64 artifacts
-// like 0.8*5 = 4.000000000000001, which would otherwise inflate a ceiling.
-const eps = 1e-9
+// Exact threshold arithmetic.
+//
+// The τ boundary is decided with integer arithmetic, never floats: a
+// float τ is first snapped to an exact rational num/den (Rationalize),
+// and every ceil/floor bound below is an integer division over that
+// rational, with 128-bit intermediates where the products can exceed
+// 64 bits. The earlier float implementation guarded its ceilings with a
+// 1e-9 epsilon, which made Verify accept pairs with sim ∈ [τ−eps, τ);
+// the integer forms agree exactly with sim ≥ τ at boundary pairs.
+//
+// Set sizes are assumed to fit in 31 bits (a record with 2³¹ tokens is
+// far beyond anything the pipeline materializes); with den ≤ 1e9 every
+// product below then fits in the 128-bit intermediates.
 
-func ceilF(v float64) int  { return int(math.Ceil(v - eps)) }
-func floorF(v float64) int { return int(math.Floor(v + eps)) }
+// ratGrid is the fixed-point grid thresholds are snapped to. A float64
+// like 0.8 is not exactly 4/5; snapping to the nearest 1e-9 step and
+// reducing recovers the rational the user meant (0.8 → 4/5, 0.7 → 7/10)
+// while any float is displaced by at most 5e-10.
+const ratGrid = 1_000_000_000
+
+// Rationalize converts a similarity threshold to the exact rational
+// num/den the package decides boundaries with: the nearest multiple of
+// 1e-9, reduced to lowest terms. Thresholds ≤ 0 map to 0/1 (everything
+// passes) and thresholds are not clamped above: τ > 1 yields num > den,
+// which no pair satisfies.
+func Rationalize(t float64) (num, den uint64) {
+	if t <= 0 {
+		return 0, 1
+	}
+	n := uint64(math.Round(t * ratGrid))
+	g := gcd(n, ratGrid)
+	return n / g, ratGrid / g
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// mulDivCeil returns ⌈a·b/c⌉ with a 128-bit intermediate product,
+// saturating at MaxInt when the quotient exceeds the int range.
+func mulDivCeil(a, b, c uint64) int {
+	hi, lo := bits.Mul64(a, b)
+	if hi >= c {
+		return math.MaxInt
+	}
+	q, r := bits.Div64(hi, lo, c)
+	if r != 0 {
+		q++
+	}
+	if q > math.MaxInt {
+		return math.MaxInt
+	}
+	return int(q)
+}
+
+// mulDivFloor returns ⌊a·b/c⌋ with a 128-bit intermediate product,
+// saturating at MaxInt when the quotient exceeds the int range.
+func mulDivFloor(a, b, c uint64) int {
+	hi, lo := bits.Mul64(a, b)
+	if hi >= c {
+		return math.MaxInt
+	}
+	q, _ := bits.Div64(hi, lo, c)
+	if q > math.MaxInt {
+		return math.MaxInt
+	}
+	return int(q)
+}
+
+// cosineGE reports o²·den² ≥ num²·lx·ly — the exact integer form of
+// o/√(lx·ly) ≥ num/den — comparing 128-bit products.
+func cosineGE(o, lx, ly, num, den uint64) bool {
+	lhsHi, lhsLo := bits.Mul64(o*den, o*den)
+	rhsHi, rhsLo := bits.Mul64(num*num, lx*ly)
+	return lhsHi > rhsHi || (lhsHi == rhsHi && lhsLo >= rhsLo)
+}
+
+// cosineNeed returns the smallest o with cosine(o, lx, ly) ≥ num/den:
+// ⌈num·√(lx·ly)/den⌉ computed exactly. A float estimate lands within a
+// few ulps of the answer and the exact 128-bit predicate walks to the
+// true minimum.
+func cosineNeed(lx, ly, num, den uint64) int {
+	if num == 0 || lx == 0 || ly == 0 {
+		return 0
+	}
+	est := math.Ceil(float64(num) / float64(den) * math.Sqrt(float64(lx)*float64(ly)))
+	o := uint64(0)
+	if est > 0 {
+		o = uint64(est)
+	}
+	for o > 0 && cosineGE(o-1, lx, ly, num, den) {
+		o--
+	}
+	for !cosineGE(o, lx, ly, num, den) {
+		o++
+	}
+	return int(o)
+}
 
 // OverlapThreshold returns the minimum |x∩y| required for two sets of
 // sizes lx and ly to satisfy sim ≥ t. The result may exceed min(lx, ly),
 // in which case no overlap suffices and the pair can be pruned outright.
+// The threshold is exact: overlap ≥ OverlapThreshold ⇔ sim ≥ t, for the
+// rationalized t (see Rationalize).
 func (f Func) OverlapThreshold(lx, ly int, t float64) int {
+	num, den := Rationalize(t)
 	switch f {
 	case Jaccard:
-		// o/(lx+ly-o) ≥ t  ⇔  o ≥ t(lx+ly)/(1+t)
-		return ceilF(t * float64(lx+ly) / (1 + t))
+		// o/(lx+ly−o) ≥ num/den  ⇔  o·(num+den) ≥ num·(lx+ly)
+		return mulDivCeil(num, uint64(lx+ly), num+den)
 	case Cosine:
-		return ceilF(t * math.Sqrt(float64(lx)*float64(ly)))
+		return cosineNeed(uint64(lx), uint64(ly), num, den)
 	case Dice:
-		return ceilF(t * float64(lx+ly) / 2)
+		// 2o/(lx+ly) ≥ num/den  ⇔  2o·den ≥ num·(lx+ly)
+		return mulDivCeil(num, uint64(lx+ly), 2*den)
 	default:
 		panic("simfn: unknown function")
 	}
@@ -134,19 +234,26 @@ func (f Func) OverlapThreshold(lx, ly int, t float64) int {
 
 // LengthBounds returns the inclusive range [lo, hi] of sizes a set may
 // have and still reach sim ≥ t against a set of size l (the length filter
-// of Arasu et al.). For l == 0 it returns [0, 0].
+// of Arasu et al.). For l == 0 it returns [0, 0]. Bounds are exact for
+// the rationalized t; hi saturates at MaxInt for vanishing thresholds.
 func (f Func) LengthBounds(l int, t float64) (lo, hi int) {
 	if l == 0 {
 		return 0, 0
 	}
+	num, den := Rationalize(t)
+	if num == 0 {
+		return 0, math.MaxInt
+	}
 	switch f {
 	case Jaccard:
-		return ceilF(t * float64(l)), floorF(float64(l) / t)
+		// min(l,m)/max(l,m) ≥ num/den ⇒ m ∈ [num·l/den, den·l/num].
+		return mulDivCeil(num, uint64(l), den), mulDivFloor(den, uint64(l), num)
 	case Cosine:
-		return ceilF(t * t * float64(l)), floorF(float64(l) / (t * t))
+		// √(min/max) ≥ num/den ⇒ m ∈ [num²·l/den², den²·l/num²].
+		return mulDivCeil(num*num, uint64(l), den*den), mulDivFloor(den*den, uint64(l), num*num)
 	case Dice:
-		// 2o/(lx+ly) ≥ t with o ≤ min(lx, ly) ⇒ bounds t·l/(2−t) … l(2−t)/t.
-		return ceilF(t * float64(l) / (2 - t)), floorF(float64(l) * (2 - t) / t)
+		// 2·min/(l+m) ≥ num/den ⇒ m ∈ [num·l/(2den−num), (2den−num)·l/num].
+		return mulDivCeil(num, uint64(l), 2*den-num), mulDivFloor(2*den-num, uint64(l), num)
 	default:
 		panic("simfn: unknown function")
 	}
@@ -162,16 +269,17 @@ func (f Func) PrefixLength(l int, t float64) int {
 	if l == 0 {
 		return 0
 	}
+	num, den := Rationalize(t)
 	var p int
 	switch f {
 	case Jaccard:
 		// l − ⌈t·l⌉ + 1: a partner must contain at least ⌈t·l⌉ of the
 		// set's tokens (the self-pair case is the tightest).
-		p = l - ceilF(t*float64(l)) + 1
+		p = l - mulDivCeil(num, uint64(l), den) + 1
 	case Cosine:
-		p = l - ceilF(t*t*float64(l)) + 1
+		p = l - mulDivCeil(num*num, uint64(l), den*den) + 1
 	case Dice:
-		p = l - ceilF(t*float64(l)/(2-t)) + 1
+		p = l - mulDivCeil(num, uint64(l), 2*den-num) + 1
 	default:
 		panic("simfn: unknown function")
 	}
@@ -218,7 +326,16 @@ func VerifyOverlap(x, y []uint32, need int) (int, bool) {
 // Verify reports whether sim(x, y) ≥ t and returns the exact similarity
 // when it is. When the pair fails the threshold the returned similarity
 // is a lower bound only (early termination may have stopped counting).
+//
+// The decision is exact: because OverlapThreshold is the precise minimum
+// overlap at which sim reaches the rationalized t, reaching it *is* the
+// acceptance condition — no float comparison (and no epsilon) is
+// involved, so a pair with sim strictly below t is never admitted and a
+// boundary pair (sim exactly t) always is.
 func (f Func) Verify(x, y []uint32, t float64) (float64, bool) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, t <= 0
+	}
 	need := f.OverlapThreshold(len(x), len(y), t)
 	if need > len(x) || need > len(y) {
 		return 0, false
@@ -226,9 +343,5 @@ func (f Func) Verify(x, y []uint32, t float64) (float64, bool) {
 	// VerifyOverlap only terminates early on failure, so on success o is
 	// the exact overlap.
 	o, ok := VerifyOverlap(x, y, need)
-	if !ok {
-		return f.simFromOverlap(o, len(x), len(y)), false
-	}
-	sim := f.simFromOverlap(o, len(x), len(y))
-	return sim, sim+eps >= t
+	return f.simFromOverlap(o, len(x), len(y)), ok
 }
