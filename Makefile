@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race tier1 smoke bench bench-engine conformance cover fuzz-smoke
+.PHONY: all build test vet staticcheck race tier1 smoke bench bench-engine bench-distrib conformance conformance-dist cover fuzz-smoke
 
 all: tier1
 
@@ -28,7 +28,8 @@ staticcheck:
 	fi
 
 race:
-	$(GO) test -race ./internal/mapreduce/... ./internal/dfs/...
+	$(GO) test -race ./internal/mapreduce/... ./internal/dfs/... \
+		./internal/distrib/... ./internal/backoff/...
 
 tier1: build test vet staticcheck race
 
@@ -41,16 +42,32 @@ smoke:
 	@test -s smoke-out/trace.jsonl && test -s smoke-out/timeline.svg && test -s smoke-out/metrics.json
 	@echo "smoke artifacts in smoke-out/"
 
-# conformance sweeps the full pipeline-variant matrix (384 cells:
-# stage combos × self/R-S × routing × block processing × bitmap filter
-# off/on × plain/faulty/parallel execution) against the exact oracle,
-# then runs the metamorphic invariant suite, on a handful of seeded
+# conformance sweeps the full pipeline-variant matrix (512 cells: stage
+# combos × self/R-S × routing × block processing × bitmap filter off/on
+# × plain/faulty/parallel/dist execution) against the exact oracle, then
+# runs the metamorphic invariant suite, on a handful of seeded
 # workloads. Any divergence prints a minimized `ssjcheck` reproducer and
-# fails.
+# fails. The bare target covers the in-process modes; dist cells (forked
+# worker processes over RPC) run in conformance-dist.
 conformance:
 	$(GO) run ./cmd/ssjcheck -seed 1 -records 40
 	$(GO) run ./cmd/ssjcheck -seed 2 -records 50 -tau 0.7
 	$(GO) run ./cmd/ssjcheck -seed 3 -records 60 -vocab 64 -skew 2.0 -tau 0.6
+
+# conformance-dist exercises the distributed backend: a dist-only sweep
+# on two forked worker processes, a chaos sweep that SIGKILLs workers
+# mid-task on a seeded schedule (output must still match the oracle
+# exactly), and an end-to-end traced CLI run whose per-attempt worker
+# ids land in dist-out/trace.jsonl.
+conformance-dist:
+	$(GO) run ./cmd/ssjcheck -seed 1 -records 40 -exec dist -workers 2 -invariants=false
+	$(GO) run ./cmd/ssjcheck -seed 2 -records 40 -exec dist -workers 3 \
+		-chaos 0.4 -chaos-seed 7 -combo BTO-PK-BRJ,OPTO-BK-OPRJ -invariants=false
+	@mkdir -p dist-out
+	$(GO) run ./cmd/fuzzyjoin -in testdata/pubs.tsv -workers 2 \
+		-trace -trace-out dist-out -out dist-out/pairs.txt
+	@test -s dist-out/trace.jsonl && test -s dist-out/pairs.txt
+	@echo "distributed run artifacts in dist-out/"
 
 # cover runs the full test suite with a cross-package coverage profile,
 # renders cover.html, and enforces the ratchet: total statement coverage
@@ -91,3 +108,11 @@ bench-engine:
 	  $(GO) test -run='^$$' -bench='BenchmarkVerify' \
 		-benchmem -count=3 ./internal/ppjoin ; } | $(GO) run ./cmd/bench2json > BENCH_engine.json
 	@echo "results recorded to BENCH_engine.json"
+
+# bench-distrib measures the distributed backend for real: wall-clock
+# for the standard self-join corpus in-process and on 1/2/4 forked
+# worker processes, recorded to BENCH_distrib.json (the one non-simulated
+# timing in the suite; absolute numbers depend on the host and CPU
+# count, both recorded in the document).
+bench-distrib:
+	$(GO) run ./cmd/ssjexp -only distrib -distrib-out BENCH_distrib.json

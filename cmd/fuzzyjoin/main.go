@@ -13,6 +13,13 @@
 // Flags select the per-stage algorithms the paper studies; the default
 // BTO-PK-BRJ is the combination the paper recommends as robust and
 // scalable.
+//
+// Distributed mode (-transport rpc, -workers n) forks n worker
+// processes and dispatches every task attempt to them over RPC; output
+// is byte-identical to the in-process run, including when workers are
+// killed mid-task:
+//
+//	fuzzyjoin -in pubs.tsv -workers 2 -out pairs.txt
 package main
 
 import (
@@ -26,10 +33,15 @@ import (
 
 	"fuzzyjoin"
 	"fuzzyjoin/internal/core"
+	"fuzzyjoin/internal/distrib"
 	"fuzzyjoin/internal/simfn"
 )
 
 func main() {
+	// When forked by a -transport rpc parent, this process is a worker:
+	// MaybeWorker serves tasks until the coordinator goes away and never
+	// returns.
+	distrib.MaybeWorker()
 	var (
 		in     = flag.String("in", "", "input record file (required)")
 		in2    = flag.String("in2", "", "second input for an R-S join (optional)")
@@ -57,6 +69,9 @@ func main() {
 
 		traceOn  = flag.Bool("trace", false, "collect a structured trace of the run and write trace.jsonl, timeline.svg, and metrics.json")
 		traceOut = flag.String("trace-out", "", "directory for the trace artifacts (implies -trace; default \"trace\" when -trace is set)")
+
+		transport = flag.String("transport", "local", "task execution transport: local (in-process) or rpc (forked worker processes)")
+		workers   = flag.Int("workers", 0, "worker processes to fork for -transport rpc (implies rpc; default 2)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -103,6 +118,28 @@ func main() {
 	cfg.Speculative = *speculative
 	if *traceOn {
 		cfg.Trace = fuzzyjoin.NewTracer()
+	}
+	if *workers > 0 && *transport == "local" {
+		*transport = "rpc"
+	}
+	switch *transport {
+	case "local":
+	case "rpc":
+		n := *workers
+		if n <= 0 {
+			n = 2
+		}
+		sess, err := distrib.Start(distrib.Options{Workers: n})
+		if err != nil {
+			fatal(err)
+		}
+		defer sess.Close()
+		cfg.Runner = sess.Runner
+		if *stats {
+			fmt.Fprintf(os.Stderr, "fuzzyjoin: dispatching tasks to %d worker processes\n", n)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (local or rpc)", *transport))
 	}
 	cfg.FS, cfg.Work = fs, "job"
 	if err := loadFile(fs, "R", *in); err != nil {

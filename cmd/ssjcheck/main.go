@@ -12,13 +12,18 @@
 //	ssjcheck [-seed S] [-records N] [-vocab V] [-tau T]
 //	         [-skew Z] [-neardup R] [-title-min N] [-title-max N] [-overlap F]
 //	         [-join self,rs] [-combo LIST] [-routing LIST] [-blocks LIST]
-//	         [-bitmap LIST] [-exec LIST]
+//	         [-bitmap LIST] [-exec LIST] [-workers N] [-chaos RATE] [-chaos-seed S]
 //	         [-sweep] [-invariants] [-minimize] [-v]
 //
 // The matrix filters take comma-separated allowlists (empty = all):
 // combos like "BTO-PK-BRJ,OPTO-BK-OPRJ", routings "individual,grouped",
 // blocks "none,map,reduce", bitmaps "off,on", execs
-// "plain,faults,parallel".
+// "plain,faults,parallel,dist".
+//
+// "dist" cells dispatch task attempts to -workers forked worker
+// processes over RPC; -chaos additionally SIGKILLs workers mid-task on
+// a seeded deterministic schedule, and the sweep still requires every
+// cell to match the oracle exactly.
 //
 // Exit status is 0 when every variant matches the oracle and every
 // invariant holds, 1 otherwise.
@@ -32,9 +37,11 @@ import (
 	"time"
 
 	"fuzzyjoin/internal/conformance"
+	"fuzzyjoin/internal/distrib"
 )
 
 func main() {
+	distrib.MaybeWorker()
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -57,7 +64,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		routings = fs.String("routing", "", "token routings to sweep: individual,grouped (empty = both)")
 		blocks   = fs.String("blocks", "", "block modes to sweep: none,map,reduce (empty = all)")
 		bitmaps  = fs.String("bitmap", "", "bitmap filter settings to sweep: off,on (empty = both)")
-		execs    = fs.String("exec", "", "execution modes to sweep: plain,faults,parallel (empty = all)")
+		execs    = fs.String("exec", "", "execution modes to sweep: plain,faults,parallel,dist (empty = all)")
+
+		workers   = fs.Int("workers", 0, "worker processes to fork for dist cells (0 = skip dist cells unless -exec selects them, then 2)")
+		chaos     = fs.Float64("chaos", 0, "SIGKILL workers mid-task for this fraction of dist dispatches (seeded, deterministic)")
+		chaosSeed = fs.Int64("chaos-seed", 1, "seed selecting which dist dispatches the chaos kills hit")
 
 		sweep      = fs.Bool("sweep", true, "run the matrix sweep against the oracle")
 		invariants = fs.Bool("invariants", true, "run the metamorphic invariant suite")
@@ -93,14 +104,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	failures := 0
 	if *sweep {
-		variants, err := conformance.Matrix(conformance.Filter{
+		filter := conformance.Filter{
 			Joins:    *joins,
 			Combos:   *combos,
 			Routings: *routings,
 			Blocks:   *blocks,
 			Bitmaps:  *bitmaps,
 			Execs:    *execs,
-		})
+		}
+		// Without an explicit -exec or -workers, sweep the in-process
+		// modes only: dist cells need a worker fleet.
+		if *execs == "" && *workers == 0 {
+			filter.Execs = "plain,faults,parallel"
+		}
+		variants, err := conformance.Matrix(filter)
 		if err != nil {
 			fmt.Fprintln(stderr, "ssjcheck:", err)
 			return 2
@@ -108,6 +125,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(variants) == 0 {
 			fmt.Fprintln(stderr, "ssjcheck: matrix filter selected no variants")
 			return 2
+		}
+		needDist := false
+		for _, v := range variants {
+			if v.Exec == conformance.ExecDist {
+				needDist = true
+				break
+			}
+		}
+		var sess *distrib.Session
+		if needDist {
+			n := *workers
+			if n <= 0 {
+				n = 2
+			}
+			opts := distrib.Options{Workers: n, Stderr: stderr}
+			if *chaos > 0 {
+				opts.Kill = &distrib.KillSpec{Rate: *chaos, Seed: *chaosSeed, MaxKills: n - 1}
+			}
+			sess, err = distrib.Start(opts)
+			if err != nil {
+				fmt.Fprintln(stderr, "ssjcheck:", err)
+				return 2
+			}
+			defer sess.Close()
+			p.Runner = sess.Runner
+			fmt.Fprintf(stdout, "dist: %d worker processes forked (chaos rate %g)\n", n, *chaos)
 		}
 		start := time.Now()
 		rep := conformance.Sweep(w, p, variants, conformance.SweepOptions{
@@ -128,6 +171,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "DIVERGENCE %s\n", d)
 		}
 		failures += len(rep.Divergences)
+		if sess != nil && *chaos > 0 {
+			fmt.Fprintf(stdout, "chaos: %d worker kill(s) fired, %d worker(s) still live\n",
+				sess.Runner.Kills(), sess.Coord.LiveWorkers())
+		}
 	}
 	if *invariants {
 		start := time.Now()

@@ -1,9 +1,18 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
+
+	"fuzzyjoin/internal/distrib"
 )
+
+// TestMain lets dist sweeps fork this test binary as worker processes.
+func TestMain(m *testing.M) {
+	distrib.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 // TestRunSmallSweep drives the CLI end to end on a tiny matrix subset.
 func TestRunSmallSweep(t *testing.T) {
@@ -21,6 +30,27 @@ func TestRunSmallSweep(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "sweep: 8 variants") { // 2 joins × 2 routings × 2 bitmap settings
 		t.Fatalf("unexpected variant count: %s", out.String())
+	}
+}
+
+// TestRunDistSweep drives the CLI's distributed backend: a dist-only
+// sweep on forked worker processes with the chaos harness armed.
+func TestRunDistSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-seed", "3", "-records", "24",
+		"-combo", "BTO-PK-BRJ", "-routing", "individual", "-exec", "dist",
+		"-workers", "2", "-chaos", "0.4",
+		"-invariants=false", "-minimize=false",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("no PASS line in output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "dist: 2 worker processes forked") {
+		t.Fatalf("no worker session line in output: %s", out.String())
 	}
 }
 

@@ -10,7 +10,11 @@
 // -only selects a comma-separated subset of experiment names (fig8, fig9,
 // table1, fig11, table2, fig12, fig13, fig14, groups, skew, blocks,
 // filters, kernels, routing, combiner, singlestage, engine, tau, faults,
-// nodefaults).
+// nodefaults, distrib).
+//
+// Unlike the simulated-makespan experiments, "distrib" measures real
+// wall-clock time on forked worker processes; -distrib-out FILE records
+// its result as JSON (the committed BENCH_distrib.json).
 package main
 
 import (
@@ -21,10 +25,14 @@ import (
 	"strings"
 	"time"
 
+	"fuzzyjoin/internal/distrib"
 	"fuzzyjoin/internal/experiments"
 )
 
 func main() {
+	// The distrib ablation forks this binary as RPC workers; a forked
+	// copy serves tasks here and never reaches the flag parsing.
+	distrib.MaybeWorker()
 	var (
 		svgDir = flag.String("svg", "", "also write the figure-shaped results as SVG files into this directory")
 		base   = flag.Int("base", 0, "x1 DBLP-like corpus size (default 1200)")
@@ -34,6 +42,8 @@ func main() {
 		par    = flag.Int("par", 0, "host parallelism (default 1: experiments keep task costs stable; the join CLI defaults to all CPUs)")
 		mem    = flag.Int64("mem", -1, "per-task memory budget in bytes (default 1 MiB; 0 disables)")
 		only   = flag.String("only", "", "comma-separated experiment subset")
+
+		distribOut = flag.String("distrib-out", "", "write the distrib ablation result as JSON to this file")
 
 		traceOn  = flag.Bool("trace", false, "also run the traced fault-tolerance demo and write trace.jsonl, timeline.svg, and metrics.json")
 		traceOut = flag.String("trace-out", "", "directory for the trace demo artifacts (implies -trace; default \"trace\" when -trace is set)")
@@ -115,6 +125,17 @@ func main() {
 		if sp, ok := r.(*experiments.SpeedupResult); ok {
 			writeSVG(name+"-relative", sp.RelativeSVG())
 		}
+		if dr, ok := r.(*experiments.DistribResult); ok && *distribOut != "" {
+			doc, err := dr.JSON()
+			if err == nil {
+				err = os.WriteFile(*distribOut, doc, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ssjexp:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[wrote %s]\n", *distribOut)
+		}
 		fmt.Printf("[%s ran in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -138,6 +159,7 @@ func main() {
 	run("tau", func() (renderer, error) { return s.ThresholdSweep() })
 	run("faults", func() (renderer, error) { return s.FaultAblation() })
 	run("nodefaults", func() (renderer, error) { return s.NodeFaultAblation() })
+	run("distrib", func() (renderer, error) { return s.DistribAblation() })
 
 	if *traceOn {
 		start := time.Now()

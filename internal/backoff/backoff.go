@@ -1,0 +1,73 @@
+// Package backoff implements the deterministic-jitter exponential
+// backoff shared by the task-retry machinery (internal/mapreduce) and
+// the RPC dial/call retry path (internal/distrib). Both consumers need
+// the same property: delays grow exponentially and are jittered, but
+// the jitter is a pure function of the operation's identity, so
+// identical runs sleep identically and every retry schedule is
+// reproducible from the seed material alone.
+package backoff
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Policy shapes a retry delay sequence. The zero value produces no
+// delay (attempt 1 is immediate and Base 0 disables backoff), matching
+// the historical RetryPolicy semantics.
+type Policy struct {
+	// Base is the delay before the second attempt.
+	Base time.Duration
+	// Factor is the exponential growth factor; values <= 0 mean 2.
+	Factor float64
+	// Max caps the grown delay; 0 means no cap.
+	Max time.Duration
+}
+
+// Delay returns the sleep before the given attempt (1-based; attempts
+// <= 1 never wait): Base grown exponentially by Factor per retry,
+// capped at Max, then jittered into [0.75, 1.25) of itself. The jitter
+// derives from Key hashed over the attempt identity, so a given
+// (key, attempt) always produces the same delay.
+func (p Policy) Delay(key Key, attempt int) time.Duration {
+	if p.Base <= 0 || attempt <= 1 {
+		return 0
+	}
+	factor := p.Factor
+	if factor <= 0 {
+		factor = 2
+	}
+	d := float64(p.Base)
+	for i := 2; i < attempt; i++ {
+		d *= factor
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	h := key.hash(attempt)
+	jitter := 0.75 + 0.5*float64(h%1024)/1024
+	return time.Duration(d * jitter)
+}
+
+// Key is the identity material the jitter derives from: two scope
+// strings (job and phase for task attempts; peer address and method for
+// RPC retries) and a numeric identity (task ID; 0 when unused).
+type Key struct {
+	Scope string
+	Sub   string
+	ID    int
+}
+
+// hash folds the key and the attempt number with FNV-1a. The layout
+// (NUL-separated scopes, then little-endian ID and attempt bytes) is
+// frozen: recorded fault-injection schedules and the determinism tests
+// depend on the historical delays byte-for-byte.
+func (k Key) hash(attempt int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.Scope))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Sub))
+	h.Write([]byte{0, byte(k.ID), byte(k.ID >> 8), byte(k.ID >> 16), byte(k.ID >> 24),
+		byte(attempt), byte(attempt >> 8)})
+	return h.Sum64()
+}

@@ -1,0 +1,93 @@
+package backoff
+
+import (
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// referenceDelay is an independent transcription of the delay formula
+// the mapreduce retry machinery historically used; Policy.Delay must
+// reproduce it bit-for-bit (determinism tests and recorded schedules
+// depend on the exact values).
+func referenceDelay(base time.Duration, factor float64, max time.Duration,
+	job, phase string, taskID, attempt int) time.Duration {
+	if base <= 0 || attempt <= 1 {
+		return 0
+	}
+	if factor <= 0 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 2; i < attempt; i++ {
+		d *= factor
+	}
+	if max > 0 && d > float64(max) {
+		d = float64(max)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(job))
+	h.Write([]byte{0})
+	h.Write([]byte(phase))
+	h.Write([]byte{0, byte(taskID), byte(taskID >> 8), byte(taskID >> 16), byte(taskID >> 24),
+		byte(attempt), byte(attempt >> 8)})
+	jitter := 0.75 + 0.5*float64(h.Sum64()%1024)/1024
+	return time.Duration(d * jitter)
+}
+
+func TestDelayMatchesReference(t *testing.T) {
+	policies := []Policy{
+		{},
+		{Base: 10 * time.Millisecond},
+		{Base: 10 * time.Millisecond, Factor: 3},
+		{Base: 10 * time.Millisecond, Factor: 1.5, Max: 25 * time.Millisecond},
+		{Base: time.Second, Max: 2 * time.Second},
+	}
+	for _, p := range policies {
+		for _, job := range []string{"", "s2-pk-self", "s1-bto-count"} {
+			for _, phase := range []string{"map", "reduce"} {
+				for taskID := 0; taskID < 5; taskID++ {
+					for attempt := 0; attempt <= 6; attempt++ {
+						got := p.Delay(Key{Scope: job, Sub: phase, ID: taskID}, attempt)
+						want := referenceDelay(p.Base, p.Factor, p.Max, job, phase, taskID, attempt)
+						if got != want {
+							t.Fatalf("Delay(%+v, %q/%q/%d, attempt %d) = %v, want %v",
+								p, job, phase, taskID, attempt, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDelayProperties(t *testing.T) {
+	p := Policy{Base: 8 * time.Millisecond, Max: 100 * time.Millisecond}
+	k := Key{Scope: "job", Sub: "map", ID: 3}
+	if d := p.Delay(k, 1); d != 0 {
+		t.Fatalf("first attempt delayed %v", d)
+	}
+	for attempt := 2; attempt < 8; attempt++ {
+		d := p.Delay(k, attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d delay %v not positive", attempt, d)
+		}
+		// Jitter is bounded to [0.75, 1.25) of the capped exponential.
+		if hi := time.Duration(1.25 * float64(p.Max)); d >= hi {
+			t.Fatalf("attempt %d delay %v exceeds jittered cap %v", attempt, d, hi)
+		}
+		if d != p.Delay(k, attempt) {
+			t.Fatalf("attempt %d delay not deterministic", attempt)
+		}
+	}
+	// Distinct identities produce distinct jitter somewhere in a small
+	// scan (the jitter must actually depend on the key).
+	base := p.Delay(Key{Scope: "job", Sub: "map", ID: 0}, 2)
+	varied := false
+	for id := 1; id < 32 && !varied; id++ {
+		varied = p.Delay(Key{Scope: "job", Sub: "map", ID: id}, 2) != base
+	}
+	if !varied {
+		t.Fatal("jitter ignores the key identity")
+	}
+}

@@ -2,12 +2,24 @@ package conformance
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
+	"fuzzyjoin/internal/distrib"
 	"fuzzyjoin/internal/records"
 	"fuzzyjoin/internal/tokenize"
 )
+
+// TestMain lets the dist-backend sweeps fork this test binary as worker
+// processes: MaybeWorker turns the fork into a worker before any test
+// runs.
+func TestMain(m *testing.M) {
+	distrib.MaybeWorker()
+	os.Exit(m.Run())
+}
 
 // ---- oracle --------------------------------------------------------
 
@@ -119,8 +131,8 @@ func TestMatrixEnumeration(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Per join kind: BK has 4 combos × 3 block modes, PK 4 × 1; times 2
-	// routings × 2 bitmap settings × 3 exec modes; times 2 join kinds.
-	if want := 2 * (4*3 + 4*1) * 2 * 2 * 3; len(all) != want {
+	// routings × 2 bitmap settings × 4 exec modes; times 2 join kinds.
+	if want := 2 * (4*3 + 4*1) * 2 * 2 * 4; len(all) != want {
 		t.Fatalf("full matrix has %d variants, want %d", len(all), want)
 	}
 	seen := map[string]bool{}
@@ -241,6 +253,66 @@ func TestSweepExecModes(t *testing.T) {
 	rep := Sweep(w, Params{}, variants, SweepOptions{Logf: t.Logf})
 	for _, d := range rep.Divergences {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestSweepDistBackend certifies the distributed RPC-worker backend on
+// a representative stage subset: every variant runs its task attempts
+// on two real worker processes and must match the oracle exactly. A
+// second pass arms the seeded SIGKILL chaos harness.
+func TestSweepDistBackend(t *testing.T) {
+	variants, err := Matrix(Filter{
+		Combos: "BTO-BK-BRJ,OPTO-PK-OPRJ",
+		Execs:  "dist",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) == 0 {
+		t.Fatal("empty variant subset")
+	}
+	w := Workload{Records: 30, Seed: 6}
+
+	s, err := distrib.Start(distrib.Options{
+		Workers: 2, Heartbeat: 50 * time.Millisecond, Stderr: io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("starting worker session: %v", err)
+	}
+	defer s.Close()
+	rep := Sweep(w, Params{Runner: s.Runner}, variants, SweepOptions{Logf: t.Logf})
+	for _, d := range rep.Divergences {
+		t.Errorf("%s", d)
+	}
+
+	// Chaos pass: a fresh fleet with the kill harness armed. The subset
+	// is small (kills are capped below fleet size) but every cell must
+	// still match the oracle bit for bit.
+	chaos, err := Matrix(Filter{Combos: "BTO-PK-BRJ", Routings: "individual", Bitmaps: "off", Execs: "dist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := distrib.Start(distrib.Options{
+		Workers: 3, Heartbeat: 50 * time.Millisecond, Stderr: io.Discard,
+		Kill: &distrib.KillSpec{Rate: 0.4, Seed: 11, MaxKills: 2},
+	})
+	if err != nil {
+		t.Fatalf("starting chaos session: %v", err)
+	}
+	defer cs.Close()
+	rep = Sweep(w, Params{Runner: cs.Runner}, chaos, SweepOptions{Logf: t.Logf, NoMinimize: true})
+	for _, d := range rep.Divergences {
+		t.Errorf("chaos: %s", d)
+	}
+	t.Logf("chaos kills fired: %d", cs.Runner.Kills())
+}
+
+// TestDistWithoutRunnerFailsLoudly guards against a dist sweep silently
+// running in-process when no worker session was provided.
+func TestDistWithoutRunnerFailsLoudly(t *testing.T) {
+	v := Variant{Exec: ExecDist}
+	if _, err := v.Run(Workload{Records: 4, Seed: 1}, Params{}); err == nil {
+		t.Fatal("ExecDist with nil Runner ran anyway")
 	}
 }
 

@@ -8,8 +8,9 @@ import (
 )
 
 // ExecMode is the execution dimension of the matrix: the same variant
-// run plainly, under injected task faults, or with host parallelism.
-// None of these may change the result by so much as a byte.
+// run plainly, under injected task faults, with host parallelism, or
+// dispatched to real worker processes over RPC. None of these may
+// change the result by so much as a byte.
 type ExecMode int
 
 const (
@@ -20,6 +21,9 @@ const (
 	ExecFaults
 	// ExecParallel runs tasks on 4 host goroutines.
 	ExecParallel
+	// ExecDist dispatches every task attempt to real worker processes
+	// over RPC (Params.Runner must carry a distrib session's runner).
+	ExecDist
 )
 
 func (e ExecMode) String() string {
@@ -28,6 +32,8 @@ func (e ExecMode) String() string {
 		return "faults"
 	case ExecParallel:
 		return "parallel"
+	case ExecDist:
+		return "dist"
 	default:
 		return "plain"
 	}
@@ -97,6 +103,9 @@ func (v Variant) Flags(w Workload, p Params) string {
 	s := fmt.Sprintf("ssjcheck -seed %d -records %d -vocab %d -tau %g -join %s -combo %s -routing %s -blocks %s -bitmap %s -exec %s",
 		w.Seed, w.Records, w.Vocab, p.Threshold,
 		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), bitmapFlag(v.Bitmap), v.Exec)
+	if v.Exec == ExecDist {
+		s += " -workers 2"
+	}
 	if w.Skew != 0 {
 		s += fmt.Sprintf(" -skew %g", w.Skew)
 	}
@@ -113,7 +122,8 @@ func (v Variant) Flags(w Workload, p Params) string {
 // lists. Empty fields mean "all". Values match the tokens used in
 // Variant names and ssjcheck flags: joins "self,rs"; combos like
 // "BTO-PK-OPRJ"; routings "individual,grouped"; blocks
-// "none,map,reduce"; bitmaps "off,on"; execs "plain,faults,parallel".
+// "none,map,reduce"; bitmaps "off,on"; execs
+// "plain,faults,parallel,dist".
 type Filter struct {
 	Joins    string
 	Combos   string
@@ -181,7 +191,7 @@ func (f Filter) validate() error {
 	if err := check("-bitmap", f.Bitmaps, []string{"off", "on"}); err != nil {
 		return err
 	}
-	return check("-exec", f.Execs, []string{"plain", "faults", "parallel"})
+	return check("-exec", f.Execs, []string{"plain", "faults", "parallel", "dist"})
 }
 
 // Matrix enumerates every valid variant passing the filter, in a fixed
@@ -221,7 +231,7 @@ func Matrix(f Filter) ([]Variant, error) {
 								if !keep(f.Bitmaps, bitmapFlag(bitmap)) {
 									continue
 								}
-								for _, exec := range []ExecMode{ExecPlain, ExecFaults, ExecParallel} {
+								for _, exec := range []ExecMode{ExecPlain, ExecFaults, ExecParallel, ExecDist} {
 									if !keep(f.Execs, exec.String()) {
 										continue
 									}

@@ -3,6 +3,7 @@ package conformance
 import (
 	"sort"
 
+	"fuzzyjoin/internal/mapreduce"
 	"fuzzyjoin/internal/ppjoin"
 	"fuzzyjoin/internal/records"
 	"fuzzyjoin/internal/simfn"
@@ -23,6 +24,12 @@ type Params struct {
 	// Jaccard, 0.8).
 	Fn        simfn.Func
 	Threshold float64
+	// Runner dispatches task attempts to the distributed backend for
+	// ExecDist variants (a distrib session's runner). It is
+	// result-irrelevant by definition — conformance proves it — so it
+	// lives here only because the sweep is parameterized by Params;
+	// sweeping ExecDist with a nil Runner is an error.
+	Runner mapreduce.TaskRunner
 }
 
 func (p Params) fill() Params {

@@ -19,12 +19,12 @@ import (
 func (v Variant) config(w Workload, p Params, fs *dfs.FS) core.Config {
 	p = p.fill()
 	cfg := core.Config{
-		FS:          fs,
-		Work:        "w",
-		Tokenizer:   p.Tokenizer,
-		JoinFields:  p.JoinFields,
-		Fn:          p.Fn,
-		Threshold:   p.Threshold,
+		FS:           fs,
+		Work:         "w",
+		Tokenizer:    p.Tokenizer,
+		JoinFields:   p.JoinFields,
+		Fn:           p.Fn,
+		Threshold:    p.Threshold,
 		TokenOrder:   v.TokenOrder,
 		Kernel:       v.Kernel,
 		RecordJoin:   v.RecordJoin,
@@ -46,14 +46,30 @@ func (v Variant) config(w Workload, p Params, fs *dfs.FS) core.Config {
 		cfg.FaultInjector = mapreduce.RateInjector{Rate: 0.25, Seed: w.Seed}
 	case ExecParallel:
 		cfg.Parallelism = 4
+	case ExecDist:
+		cfg.Runner = p.Runner
+		cfg.Parallelism = 2
 	}
 	return cfg
+}
+
+// checkExec rejects variants whose execution mode needs setup the
+// caller didn't provide, so a dist sweep without a worker session fails
+// loudly instead of silently running in-process.
+func (v Variant) checkExec(p Params) error {
+	if v.Exec == ExecDist && p.Runner == nil {
+		return fmt.Errorf("conformance: variant %s needs Params.Runner (a distrib worker session)", v.Name())
+	}
+	return nil
 }
 
 // runLinesSelf executes a variant's self-join pipeline over explicit
 // record lines and returns the canonically sorted result pairs. The
 // invariant checks drive this directly with mutated inputs.
 func (v Variant) runLinesSelf(w Workload, p Params, lines []string) ([]records.RIDPair, error) {
+	if err := v.checkExec(p); err != nil {
+		return nil, err
+	}
 	fs := dfs.New(dfs.Options{BlockSize: 2 << 10, Nodes: 4})
 	if err := mapreduce.WriteTextFile(fs, "in", lines); err != nil {
 		return nil, err
@@ -72,6 +88,9 @@ func (v Variant) runLinesSelf(w Workload, p Params, lines []string) ([]records.R
 
 // runLinesRS is runLinesSelf for the R-S join.
 func (v Variant) runLinesRS(w Workload, p Params, rLines, sLines []string) ([]records.RIDPair, error) {
+	if err := v.checkExec(p); err != nil {
+		return nil, err
+	}
 	fs := dfs.New(dfs.Options{BlockSize: 2 << 10, Nodes: 4})
 	if err := mapreduce.WriteTextFile(fs, "R", rLines); err != nil {
 		return nil, err

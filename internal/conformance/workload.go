@@ -1,9 +1,9 @@
 // Package conformance is the differential-verification harness: it
 // certifies that every pipeline variant — all eight stage-algorithm
 // combinations, self and R-S joins, individual and grouped token
-// routing, §5 block processing, fault injection, and parallel execution
-// — computes exactly the same similarity join as an exact record-level
-// oracle, and that the pipeline satisfies metamorphic invariants
+// routing, §5 block processing, fault injection, parallel execution,
+// and the distributed RPC-worker backend — computes exactly the same
+// similarity join as an exact record-level oracle, and that the pipeline satisfies metamorphic invariants
 // (threshold monotonicity, permutation and duplication invariance,
 // R-S-with-S=R ≡ self-join).
 //

@@ -230,6 +230,12 @@ type Config struct {
 	// trace is returned on Result.Trace. Nil disables tracing at zero
 	// cost and leaves the join output byte-identical.
 	Trace *trace.Tracer
+	// Runner, when non-nil, dispatches every task attempt of every job
+	// the pipeline runs to an external executor — the distributed
+	// backend's coordinator (see mapreduce.TaskRunner). Requires a
+	// serializable Config (stock tokenizer); output stays byte-identical
+	// to in-process execution.
+	Runner mapreduce.TaskRunner
 }
 
 // fillDefaults validates the Config (see Validate) and then replaces

@@ -59,7 +59,7 @@ func SelfJoin(cfg Config, input string) (*Result, error) {
 
 	start = time.Now()
 	traceStage(&cfg, trace.StageStart, 3, cfg.RecordJoin.String())
-	out, m3, err := runStage3(&cfg, []string{input}, func(string) byte { return relR }, false, pairs, cfg.Work)
+	out, m3, err := runStage3(&cfg, []string{input}, "", false, pairs, cfg.Work)
 	if err != nil {
 		return nil, fmt.Errorf("stage 3 (%s): %w", cfg.RecordJoin, err)
 	}
@@ -113,13 +113,7 @@ func RSJoin(cfg Config, inputR, inputS string) (*Result, error) {
 
 	start = time.Now()
 	traceStage(&cfg, trace.StageStart, 3, cfg.RecordJoin.String())
-	relOf := func(file string) byte {
-		if file == inputR {
-			return relR
-		}
-		return relS
-	}
-	out, m3, err := runStage3(&cfg, []string{inputR, inputS}, relOf, true, pairs, cfg.Work)
+	out, m3, err := runStage3(&cfg, []string{inputR, inputS}, inputR, true, pairs, cfg.Work)
 	if err != nil {
 		return nil, fmt.Errorf("stage 3 (%s): %w", cfg.RecordJoin, err)
 	}
@@ -164,7 +158,7 @@ func Stage3Self(cfg Config, input, pairsPrefix string) (string, []*mapreduce.Met
 	if err := cfg.fillDefaults(); err != nil {
 		return "", nil, err
 	}
-	return runStage3(&cfg, []string{input}, func(string) byte { return relR }, false, pairsPrefix, cfg.Work)
+	return runStage3(&cfg, []string{input}, "", false, pairsPrefix, cfg.Work)
 }
 
 // Stage3RS runs only the R-S record-join stage.
@@ -172,13 +166,7 @@ func Stage3RS(cfg Config, inputR, inputS, pairsPrefix string) (string, []*mapred
 	if err := cfg.fillDefaults(); err != nil {
 		return "", nil, err
 	}
-	relOf := func(file string) byte {
-		if file == inputR {
-			return relR
-		}
-		return relS
-	}
-	return runStage3(&cfg, []string{inputR, inputS}, relOf, true, pairsPrefix, cfg.Work)
+	return runStage3(&cfg, []string{inputR, inputS}, inputR, true, pairsPrefix, cfg.Work)
 }
 
 func stagePairCount(ms []*mapreduce.Metrics) int64 {

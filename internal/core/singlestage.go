@@ -189,54 +189,32 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 	res.Stages[0] = StageMetrics{Stage: 1, Alg: cfg.TokenOrder.String(), Jobs: m1}
 
 	kernelOut := cfg.Work + "/ss-kernel"
-	m2, err := mapreduce.Run(mapreduce.Job{
-		Name:            "ss-carry-records",
-		FS:              cfg.FS,
-		Inputs:          []string{input},
-		InputFormat:     mapreduce.Text,
-		Output:          kernelOut,
-		Mapper:          &carryRecordsMapper{cfg: &cfg, tokenFile: tokenFile},
-		Reducer:         &carryRecordsReducer{cfg: &cfg},
-		NumReducers:     cfg.NumReducers,
-		SideFiles:       []string{tokenFile},
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	})
+	job, err := coreJob(&cfg, progSpec{Kind: "ss-carry", TokenFile: tokenFile})
+	if err != nil {
+		return nil, fmt.Errorf("carry-records kernel: %w", err)
+	}
+	job.Name = "ss-carry-records"
+	job.Inputs = []string{input}
+	job.InputFormat = mapreduce.Text
+	job.Output = kernelOut
+	job.SideFiles = []string{tokenFile}
+	m2, err := mapreduce.Run(job)
 	if err != nil {
 		return nil, fmt.Errorf("carry-records kernel: %w", err)
 	}
 	res.Stages[1] = StageMetrics{Stage: 2, Alg: "CARRY", Jobs: []*mapreduce.Metrics{m2}}
 
 	out := cfg.Work + "/out"
-	m3, err := mapreduce.Run(mapreduce.Job{
-		Name:            "ss-dedup",
-		FS:              cfg.FS,
-		Inputs:          []string{kernelOut + "/"},
-		InputFormat:     mapreduce.Pairs,
-		Output:          out,
-		OutputFormat:    mapreduce.Text,
-		Mapper:          mapreduce.IdentityMapper,
-		Reducer:         dedupFirstReducer,
-		NumReducers:     cfg.NumReducers,
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	})
+	job, err = coreJob(&cfg, progSpec{Kind: "ss-dedup"})
+	if err != nil {
+		return nil, fmt.Errorf("dedup: %w", err)
+	}
+	job.Name = "ss-dedup"
+	job.Inputs = []string{kernelOut + "/"}
+	job.InputFormat = mapreduce.Pairs
+	job.Output = out
+	job.OutputFormat = mapreduce.Text
+	m3, err := mapreduce.Run(job)
 	if err != nil {
 		return nil, fmt.Errorf("dedup: %w", err)
 	}

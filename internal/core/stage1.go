@@ -86,52 +86,30 @@ func stage1Combiner(cfg *Config) mapreduce.Reducer {
 // runBTO runs Basic Token Ordering: count job + single-reducer sort job.
 func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*mapreduce.Metrics, err error) {
 	countOut := work + "/s1-count"
-	m1, err := mapreduce.Run(mapreduce.Job{
-		Name:            "s1-bto-count",
-		FS:              cfg.FS,
-		Inputs:          []string{input},
-		InputFormat:     mapreduce.Text,
-		Output:          countOut,
-		Mapper:          &tokenCountMapper{cfg: cfg},
-		Combiner:        stage1Combiner(cfg),
-		Reducer:         sumCombiner,
-		NumReducers:     cfg.NumReducers,
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	})
+	job, err := coreJob(cfg, progSpec{Kind: "s1-bto-count"})
+	if err != nil {
+		return "", nil, err
+	}
+	job.Name = "s1-bto-count"
+	job.Inputs = []string{input}
+	job.InputFormat = mapreduce.Text
+	job.Output = countOut
+	m1, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err
 	}
 	sortOut := work + "/s1"
-	m2, err := mapreduce.Run(mapreduce.Job{
-		Name:            "s1-bto-sort",
-		FS:              cfg.FS,
-		Inputs:          []string{countOut + "/"},
-		InputFormat:     mapreduce.Pairs,
-		Output:          sortOut,
-		OutputFormat:    mapreduce.Text,
-		Mapper:          countSwapMapper,
-		Reducer:         emitTokenReducer,
-		NumReducers:     1, // total order requires exactly one reducer (§3.1.1)
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	})
+	job, err = coreJob(cfg, progSpec{Kind: "s1-bto-sort"})
+	if err != nil {
+		return "", nil, err
+	}
+	job.Name = "s1-bto-sort"
+	job.Inputs = []string{countOut + "/"}
+	job.InputFormat = mapreduce.Pairs
+	job.Output = sortOut
+	job.OutputFormat = mapreduce.Text
+	job.NumReducers = 1 // total order requires exactly one reducer (§3.1.1)
+	m2, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err
 	}
@@ -194,28 +172,17 @@ func (r *optoReducer) Cleanup(_ *mapreduce.Context, out mapreduce.Emitter) error
 // that sorts in memory.
 func runOPTO(cfg *Config, input string, work string) (tokenFile string, ms []*mapreduce.Metrics, err error) {
 	out := work + "/s1"
-	m, err := mapreduce.Run(mapreduce.Job{
-		Name:            "s1-opto",
-		FS:              cfg.FS,
-		Inputs:          []string{input},
-		InputFormat:     mapreduce.Text,
-		Output:          out,
-		OutputFormat:    mapreduce.Text,
-		Mapper:          &tokenCountMapper{cfg: cfg},
-		Combiner:        stage1Combiner(cfg),
-		Reducer:         &optoReducer{},
-		NumReducers:     1,
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	})
+	job, err := coreJob(cfg, progSpec{Kind: "s1-opto"})
+	if err != nil {
+		return "", nil, err
+	}
+	job.Name = "s1-opto"
+	job.Inputs = []string{input}
+	job.InputFormat = mapreduce.Text
+	job.Output = out
+	job.OutputFormat = mapreduce.Text
+	job.NumReducers = 1
+	m, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err
 	}

@@ -367,34 +367,15 @@ func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapre
 		return runStage2SelfLengthRouted(cfg, input, tokenFile, work)
 	}
 	out := work + "/s2"
-	job := mapreduce.Job{
-		Name:            fmt.Sprintf("s2-%s-self", cfg.Kernel),
-		FS:              cfg.FS,
-		Inputs:          []string{input},
-		InputFormat:     mapreduce.Text,
-		Output:          out,
-		Mapper:          &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relR},
-		NumReducers:     cfg.NumReducers,
-		SideFiles:       []string{tokenFile},
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
+	job, err := coreJob(cfg, progSpec{Kind: "s2-self", TokenFile: tokenFile})
+	if err != nil {
+		return "", nil, err
 	}
-	switch cfg.Kernel {
-	case PK:
-		job.Reducer = &pkSelfReducer{cfg: cfg}
-		job.Partitioner = mapreduce.PrefixPartitioner(4)
-		job.GroupComparator = keys.PrefixComparator(4)
-	default:
-		job.Reducer = &bkSelfReducer{cfg: cfg}
-	}
+	job.Name = fmt.Sprintf("s2-%s-self", cfg.Kernel)
+	job.Inputs = []string{input}
+	job.InputFormat = mapreduce.Text
+	job.Output = out
+	job.SideFiles = []string{tokenFile}
 	m, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err
@@ -411,37 +392,15 @@ func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, [
 		return runStage2RSLengthRouted(cfg, inputR, inputS, tokenFile, work)
 	}
 	out := work + "/s2"
-	job := mapreduce.Job{
-		Name:        fmt.Sprintf("s2-%s-rs", cfg.Kernel),
-		FS:          cfg.FS,
-		Inputs:      []string{inputR, inputS},
-		InputFormat: mapreduce.Text,
-		Output:      out,
-		Mapper: &rsDispatchMapper{
-			r:   &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relR, rs: true},
-			s:   &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relS, rs: true},
-			isR: func(file string) bool { return file == inputR },
-		},
-		NumReducers:     cfg.NumReducers,
-		SideFiles:       []string{tokenFile},
-		Partitioner:     mapreduce.PrefixPartitioner(4),
-		GroupComparator: keys.PrefixComparator(4),
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
+	job, err := coreJob(cfg, progSpec{Kind: "s2-rs", TokenFile: tokenFile, InputR: inputR, RS: true})
+	if err != nil {
+		return "", nil, err
 	}
-	if cfg.Kernel == PK {
-		job.Reducer = &pkRSReducer{cfg: cfg}
-	} else {
-		job.Reducer = &bkRSReducer{cfg: cfg}
-	}
+	job.Name = fmt.Sprintf("s2-%s-rs", cfg.Kernel)
+	job.Inputs = []string{inputR, inputS}
+	job.InputFormat = mapreduce.Text
+	job.Output = out
+	job.SideFiles = []string{tokenFile}
 	m, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err

@@ -397,37 +397,18 @@ func (r *reduceBlockedSelfReducer) Reduce(ctx *mapreduce.Context, _ []byte, valu
 // processing.
 func runStage2SelfBlocked(cfg *Config, input, tokenFile, work string) (string, []*mapreduce.Metrics, error) {
 	out := work + "/s2"
-	inner := &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relR}
-	job := mapreduce.Job{
-		Name:        fmt.Sprintf("s2-bk-self-%s", cfg.BlockMode),
-		FS:          cfg.FS,
-		Inputs:      []string{input},
-		InputFormat: mapreduce.Text,
-		Output:      out,
-		Mapper:      &blockedSelfMapper{inner: inner, mode: cfg.BlockMode, m: cfg.NumBlocks},
-		NumReducers: cfg.NumReducers,
-		SideFiles:   []string{tokenFile},
-		// Partition and group on the group id; sort on the full key so
-		// blocks arrive interleaved (map-based) or in order
-		// (reduce-based).
-		Partitioner:     mapreduce.PrefixPartitioner(4),
-		GroupComparator: keys.PrefixComparator(4),
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
+	// Partitioning and grouping ride on the group id (prefix 4); the sort
+	// on the full key makes blocks arrive interleaved (map-based) or in
+	// order (reduce-based).
+	job, err := coreJob(cfg, progSpec{Kind: "s2-self-blocked", TokenFile: tokenFile})
+	if err != nil {
+		return "", nil, err
 	}
-	if cfg.BlockMode == MapBlocks {
-		job.Reducer = &mapBlockedSelfReducer{cfg: cfg}
-	} else {
-		job.Reducer = &reduceBlockedSelfReducer{cfg: cfg}
-	}
+	job.Name = fmt.Sprintf("s2-bk-self-%s", cfg.BlockMode)
+	job.Inputs = []string{input}
+	job.InputFormat = mapreduce.Text
+	job.Output = out
+	job.SideFiles = []string{tokenFile}
 	m, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err

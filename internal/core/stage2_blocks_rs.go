@@ -260,41 +260,15 @@ func (r *reduceBlockedRSReducer) Reduce(ctx *mapreduce.Context, _ []byte, values
 // runStage2RSBlocked runs the BK R-S kernel with §5 block processing.
 func runStage2RSBlocked(cfg *Config, inputR, inputS, tokenFile, work string) (string, []*mapreduce.Metrics, error) {
 	out := work + "/s2"
-	newInner := func(rel byte) *stage2Mapper {
-		return &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: rel, rs: true}
+	job, err := coreJob(cfg, progSpec{Kind: "s2-rs-blocked", TokenFile: tokenFile, InputR: inputR, RS: true})
+	if err != nil {
+		return "", nil, err
 	}
-	rm := &blockedRSMapper{inner: newInner(relR), mode: cfg.BlockMode, m: cfg.NumBlocks, rel: relR}
-	sm := &blockedRSMapper{inner: newInner(relS), mode: cfg.BlockMode, m: cfg.NumBlocks, rel: relS}
-	job := mapreduce.Job{
-		Name:        fmt.Sprintf("s2-bk-rs-%s", cfg.BlockMode),
-		FS:          cfg.FS,
-		Inputs:      []string{inputR, inputS},
-		InputFormat: mapreduce.Text,
-		Output:      out,
-		Mapper: &rsBlockedDispatchMapper{
-			r: rm, s: sm,
-			isR: func(file string) bool { return file == inputR },
-		},
-		NumReducers:     cfg.NumReducers,
-		SideFiles:       []string{tokenFile},
-		Partitioner:     mapreduce.PrefixPartitioner(4),
-		GroupComparator: keys.PrefixComparator(4),
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	}
-	if cfg.BlockMode == MapBlocks {
-		job.Reducer = &mapBlockedRSReducer{cfg: cfg}
-	} else {
-		job.Reducer = &reduceBlockedRSReducer{cfg: cfg}
-	}
+	job.Name = fmt.Sprintf("s2-bk-rs-%s", cfg.BlockMode)
+	job.Inputs = []string{inputR, inputS}
+	job.InputFormat = mapreduce.Text
+	job.Output = out
+	job.SideFiles = []string{tokenFile}
 	m, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err

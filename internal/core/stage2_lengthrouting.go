@@ -152,34 +152,15 @@ func (r *lengthRoutedReducer) Reduce(ctx *mapreduce.Context, key []byte, values 
 // filter as a secondary routing criterion.
 func runStage2SelfLengthRouted(cfg *Config, input, tokenFile, work string) (string, []*mapreduce.Metrics, error) {
 	out := work + "/s2"
-	inner := &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: relR}
-	width := cfg.LengthBucket
-	if width <= 0 {
-		width = 2
+	job, err := coreJob(cfg, progSpec{Kind: "s2-self-lenroute", TokenFile: tokenFile})
+	if err != nil {
+		return "", nil, err
 	}
-	job := mapreduce.Job{
-		Name:            "s2-bk-self-lengthrouted",
-		FS:              cfg.FS,
-		Inputs:          []string{input},
-		InputFormat:     mapreduce.Text,
-		Output:          out,
-		Mapper:          &lengthRoutedMapper{inner: inner, width: width},
-		Reducer:         &lengthRoutedReducer{cfg: cfg},
-		NumReducers:     cfg.NumReducers,
-		SideFiles:       []string{tokenFile},
-		Partitioner:     mapreduce.PrefixPartitioner(8),
-		GroupComparator: keys.PrefixComparator(8),
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	}
+	job.Name = "s2-bk-self-lengthrouted"
+	job.Inputs = []string{input}
+	job.InputFormat = mapreduce.Text
+	job.Output = out
+	job.SideFiles = []string{tokenFile}
 	m, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err
@@ -298,40 +279,15 @@ func (r *lengthRoutedRSReducer) Reduce(ctx *mapreduce.Context, _ []byte, values 
 // as a secondary routing criterion.
 func runStage2RSLengthRouted(cfg *Config, inputR, inputS, tokenFile, work string) (string, []*mapreduce.Metrics, error) {
 	out := work + "/s2"
-	width := cfg.LengthBucket
-	if width <= 0 {
-		width = 2
+	job, err := coreJob(cfg, progSpec{Kind: "s2-rs-lenroute", TokenFile: tokenFile, InputR: inputR, RS: true})
+	if err != nil {
+		return "", nil, err
 	}
-	newInner := func(rel byte) *stage2Mapper {
-		return &stage2Mapper{cfg: cfg, tokenFile: tokenFile, rel: rel, rs: true}
-	}
-	job := mapreduce.Job{
-		Name:        "s2-bk-rs-lengthrouted",
-		FS:          cfg.FS,
-		Inputs:      []string{inputR, inputS},
-		InputFormat: mapreduce.Text,
-		Output:      out,
-		Mapper: &rsLengthRoutedDispatchMapper{
-			r:   &lengthRoutedRSMapper{inner: newInner(relR), width: width, rel: relR},
-			s:   &lengthRoutedRSMapper{inner: newInner(relS), width: width, rel: relS},
-			isR: func(file string) bool { return file == inputR },
-		},
-		Reducer:         &lengthRoutedRSReducer{cfg: cfg},
-		NumReducers:     cfg.NumReducers,
-		SideFiles:       []string{tokenFile},
-		Partitioner:     mapreduce.PrefixPartitioner(8),
-		GroupComparator: keys.PrefixComparator(8),
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	}
+	job.Name = "s2-bk-rs-lengthrouted"
+	job.Inputs = []string{inputR, inputS}
+	job.InputFormat = mapreduce.Text
+	job.Output = out
+	job.SideFiles = []string{tokenFile}
 	m, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err

@@ -199,56 +199,34 @@ func (pairAssembleReducer) Reduce(ctx *mapreduce.Context, key []byte, values *ma
 }
 
 // runBRJ runs the two-phase Basic Record Join.
-func runBRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool, pairsPrefix, work string) (string, []*mapreduce.Metrics, error) {
+func runBRJ(cfg *Config, recordInputs []string, inputR string, rs bool, pairsPrefix, work string) (string, []*mapreduce.Metrics, error) {
 	half := work + "/s3-half"
-	m1, err := mapreduce.Run(mapreduce.Job{
-		Name:        "s3-brj-1",
-		FS:          cfg.FS,
-		Inputs:      append(append([]string(nil), recordInputs...), pairsPrefix+"/"),
-		InputFormat: mapreduce.Text,
-		InputFormatsByPrefix: map[string]mapreduce.Format{
-			pairsPrefix + "/": mapreduce.Pairs,
-		},
-		Output:          half,
-		Mapper:          &brjPhase1Mapper{pairsPrefix: pairsPrefix, relOf: relOf, rs: rs},
-		Reducer:         &brjPhase1Reducer{rs: rs},
-		NumReducers:     cfg.NumReducers,
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	})
+	job, err := coreJob(cfg, progSpec{Kind: "s3-brj1", InputR: inputR, RS: rs, PairsPrefix: pairsPrefix})
+	if err != nil {
+		return "", nil, err
+	}
+	job.Name = "s3-brj-1"
+	job.Inputs = append(append([]string(nil), recordInputs...), pairsPrefix+"/")
+	job.InputFormat = mapreduce.Text
+	job.InputFormatsByPrefix = map[string]mapreduce.Format{
+		pairsPrefix + "/": mapreduce.Pairs,
+	}
+	job.Output = half
+	m1, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err
 	}
 	out := work + "/out"
-	m2, err := mapreduce.Run(mapreduce.Job{
-		Name:            "s3-brj-2",
-		FS:              cfg.FS,
-		Inputs:          []string{half + "/"},
-		InputFormat:     mapreduce.Pairs,
-		Output:          out,
-		OutputFormat:    mapreduce.Text,
-		Mapper:          mapreduce.IdentityMapper,
-		Reducer:         pairAssembleReducer{},
-		NumReducers:     cfg.NumReducers,
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	})
+	job, err = coreJob(cfg, progSpec{Kind: "s3-brj2"})
+	if err != nil {
+		return "", nil, err
+	}
+	job.Name = "s3-brj-2"
+	job.Inputs = []string{half + "/"}
+	job.InputFormat = mapreduce.Pairs
+	job.Output = out
+	job.OutputFormat = mapreduce.Text
+	m2, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err
 	}
@@ -342,41 +320,32 @@ func (m *oprjMapper) Map(ctx *mapreduce.Context, _, value []byte, out mapreduce.
 }
 
 // runOPRJ runs the One-Phase Record Join.
-func runOPRJ(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool, pairsPrefix, work string) (string, []*mapreduce.Metrics, error) {
+func runOPRJ(cfg *Config, recordInputs []string, inputR string, rs bool, pairsPrefix, work string) (string, []*mapreduce.Metrics, error) {
 	pairFiles := cfg.FS.List(pairsPrefix + "/")
 	out := work + "/out"
-	m, err := mapreduce.Run(mapreduce.Job{
-		Name:            "s3-oprj",
-		FS:              cfg.FS,
-		Inputs:          recordInputs,
-		InputFormat:     mapreduce.Text,
-		Output:          out,
-		OutputFormat:    mapreduce.Text,
-		Mapper:          &oprjMapper{pairFiles: pairFiles, relOf: relOf, rs: rs},
-		Reducer:         pairAssembleReducer{},
-		NumReducers:     cfg.NumReducers,
-		SideFiles:       pairFiles,
-		SortPrefix:      stageKeySortPrefix,
-		MemoryLimit:     cfg.MemoryLimit,
-		Parallelism:     cfg.Parallelism,
-		CompressShuffle: cfg.CompressShuffle,
-		SpillPairs:      cfg.SpillPairs,
-		Retry:           cfg.Retry,
-		FaultInjector:   cfg.FaultInjector,
-		NodeFailures:    cfg.NodeFailures,
-		Speculative:     cfg.Speculative,
-		Trace:           cfg.Trace,
-	})
+	job, err := coreJob(cfg, progSpec{Kind: "s3-oprj", InputR: inputR, RS: rs, PairFiles: pairFiles})
+	if err != nil {
+		return "", nil, err
+	}
+	job.Name = "s3-oprj"
+	job.Inputs = recordInputs
+	job.InputFormat = mapreduce.Text
+	job.Output = out
+	job.OutputFormat = mapreduce.Text
+	job.SideFiles = pairFiles
+	m, err := mapreduce.Run(job)
 	if err != nil {
 		return "", nil, err
 	}
 	return out, []*mapreduce.Metrics{m}, nil
 }
 
-// runStage3 dispatches on the configured record-join algorithm.
-func runStage3(cfg *Config, recordInputs []string, relOf func(string) byte, rs bool, pairsPrefix, work string) (string, []*mapreduce.Metrics, error) {
+// runStage3 dispatches on the configured record-join algorithm. For R-S
+// joins inputR identifies the R records file (relation tags come from
+// exact comparison against it); for self-joins it is ignored.
+func runStage3(cfg *Config, recordInputs []string, inputR string, rs bool, pairsPrefix, work string) (string, []*mapreduce.Metrics, error) {
 	if cfg.RecordJoin == OPRJ {
-		return runOPRJ(cfg, recordInputs, relOf, rs, pairsPrefix, work)
+		return runOPRJ(cfg, recordInputs, inputR, rs, pairsPrefix, work)
 	}
-	return runBRJ(cfg, recordInputs, relOf, rs, pairsPrefix, work)
+	return runBRJ(cfg, recordInputs, inputR, rs, pairsPrefix, work)
 }

@@ -302,8 +302,10 @@ type Writer struct {
 	recs int
 }
 
-// Create creates a new file and returns a writer for it.
-func (fs *FS) Create(name string) (*Writer, error) {
+// Create creates a new file and returns a writer for it. The result is
+// typed as the Storage-interface RecordWriter so *FS satisfies Storage
+// directly; the concrete writer is always a *Writer.
+func (fs *FS) Create(name string) (RecordWriter, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if _, ok := fs.files[name]; ok {

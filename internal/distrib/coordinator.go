@@ -1,0 +1,540 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"fuzzyjoin/internal/backoff"
+	"fuzzyjoin/internal/dfs"
+)
+
+// ErrLeaseRevoked fences FS writes from attempts whose lease has been
+// revoked (worker declared dead, or the dispatch was abandoned). The
+// dispatcher treats it as a dispatch failure, not a task failure — it
+// never consumes a RetryPolicy attempt.
+var ErrLeaseRevoked = errors.New("distrib: lease revoked")
+
+// ErrNoWorkers reports that no live worker is available for dispatch.
+var ErrNoWorkers = errors.New("distrib: no live workers")
+
+type leaseState int
+
+const (
+	leaseGranted leaseState = iota
+	leaseCompleted
+	leaseRevoked
+)
+
+// lease scopes one task-attempt dispatch: every file the attempt
+// creates is recorded here, and revocation (crash, supersession)
+// removes them all — the write-fencing half of crash recovery.
+type lease struct {
+	id      int64
+	worker  int
+	fs      dfs.Storage
+	state   leaseState
+	files   []string
+	handles []int64
+}
+
+type writerHandle struct {
+	lease *lease
+	w     dfs.RecordWriter
+}
+
+type workerState struct {
+	id       int
+	index    int
+	addr     string
+	pid      int
+	lastBeat time.Time
+	dead     bool
+	inflight int
+	client   *rpc.Client
+}
+
+// Coordinator is the cluster control plane: the worker registry with
+// heartbeat liveness, the lease table fencing worker writes, and the
+// RPC surface workers use to reach the in-process DFS instances.
+type Coordinator struct {
+	ln        net.Listener
+	heartbeat time.Duration
+
+	mu         sync.Mutex
+	closed     bool
+	workers    map[int]*workerState
+	nextWorker int
+	fsIDs      map[dfs.Storage]int64
+	fsByID     map[int64]dfs.Storage
+	nextFS     int64
+	leases     map[int64]*lease
+	nextLease  int64
+	handles    map[int64]*writerHandle
+	nextHandle int64
+}
+
+// NewCoordinator starts the RPC service on a loopback port and the
+// liveness monitor. A worker missing heartbeats for 4 intervals is
+// declared dead and its granted leases are revoked.
+func NewCoordinator(heartbeat time.Duration) (*Coordinator, error) {
+	if heartbeat <= 0 {
+		heartbeat = 250 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("distrib: coordinator listen: %w", err)
+	}
+	c := &Coordinator{
+		ln:        ln,
+		heartbeat: heartbeat,
+		workers:   map[int]*workerState{},
+		fsIDs:     map[dfs.Storage]int64{},
+		fsByID:    map[int64]dfs.Storage{},
+		leases:    map[int64]*lease{},
+		handles:   map[int64]*writerHandle{},
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Coordinator", &coordRPC{c: c}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	go c.monitor()
+	return c, nil
+}
+
+// Addr is the coordinator's dialable RPC address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close stops the RPC service and drops worker connections. Workers
+// notice on their next heartbeat and exit.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	var clients []*rpc.Client
+	for _, w := range c.workers {
+		if w.client != nil {
+			clients = append(clients, w.client)
+			w.client = nil
+		}
+	}
+	c.mu.Unlock()
+	c.ln.Close()
+	for _, cl := range clients {
+		cl.Close()
+	}
+}
+
+func (c *Coordinator) monitor() {
+	tick := time.NewTicker(c.heartbeat)
+	defer tick.Stop()
+	for range tick.C {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		cut := time.Now().Add(-4 * c.heartbeat)
+		for _, w := range c.workers {
+			if !w.dead && w.lastBeat.Before(cut) {
+				c.markDeadLocked(w)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Coordinator) markDeadLocked(w *workerState) {
+	w.dead = true
+	if w.client != nil {
+		go w.client.Close()
+		w.client = nil
+	}
+	for _, l := range c.leases {
+		if l.worker == w.id && l.state == leaseGranted {
+			c.revokeLocked(l)
+		}
+	}
+}
+
+// revokeLocked fences the lease and removes every file created under
+// it — the crashed attempt's partial output disappears before any
+// re-dispatched attempt can observe it.
+func (c *Coordinator) revokeLocked(l *lease) {
+	if l.state != leaseGranted {
+		return
+	}
+	l.state = leaseRevoked
+	for _, h := range l.handles {
+		delete(c.handles, h)
+	}
+	for _, name := range l.files {
+		if l.fs.Exists(name) {
+			l.fs.Remove(name)
+		}
+	}
+}
+
+// fsID lazily registers a storage instance for worker access. The
+// dispatcher runs in the coordinator's process, so the instance itself
+// stays local; workers address it by ID.
+func (c *Coordinator) fsID(st dfs.Storage) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.fsIDs[st]; ok {
+		return id
+	}
+	c.nextFS++
+	c.fsIDs[st] = c.nextFS
+	c.fsByID[c.nextFS] = st
+	return c.nextFS
+}
+
+func (c *Coordinator) grantLease(worker int, st dfs.Storage) *lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextLease++
+	l := &lease{id: c.nextLease, worker: worker, fs: st}
+	c.leases[l.id] = l
+	return l
+}
+
+// completeLease transitions granted → completed and reports whether the
+// attempt's results may be accepted. A false return means the lease was
+// revoked while the reply was in flight (the worker was declared dead
+// mid-attempt); its files are gone and the dispatch must be retried.
+func (c *Coordinator) completeLease(l *lease) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l.state != leaseGranted {
+		return false
+	}
+	l.state = leaseCompleted
+	return true
+}
+
+func (c *Coordinator) revokeLease(l *lease) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.revokeLocked(l)
+}
+
+// pickWorker selects the least-loaded live worker (lowest ID on ties)
+// and charges it one in-flight dispatch. Callers must release().
+func (c *Coordinator) pickWorker() *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *workerState
+	for _, w := range c.workers {
+		if w.dead {
+			continue
+		}
+		if best == nil || w.inflight < best.inflight ||
+			(w.inflight == best.inflight && w.id < best.id) {
+			best = w
+		}
+	}
+	if best != nil {
+		best.inflight++
+	}
+	return best
+}
+
+func (c *Coordinator) release(w *workerState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.inflight--
+}
+
+// workerFailed marks a worker dead after a transport failure without
+// waiting for the heartbeat deadline, revoking its leases.
+func (c *Coordinator) workerFailed(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[id]; w != nil && !w.dead {
+		c.markDeadLocked(w)
+	}
+}
+
+// liveWorkers counts workers currently considered alive.
+func (c *Coordinator) liveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveWorkers is the exported view of liveWorkers, for tests and demos.
+func (c *Coordinator) LiveWorkers() int { return c.liveWorkers() }
+
+// WaitWorkers blocks until n workers have registered (or the timeout).
+func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.liveWorkers() >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("distrib: %d of %d workers registered before timeout", c.liveWorkers(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// workerClient returns the dispatch connection to a worker, dialing it
+// with deterministic backoff on first use.
+func (c *Coordinator) workerClient(w *workerState) (*rpc.Client, error) {
+	c.mu.Lock()
+	if w.client != nil {
+		cl := w.client
+		c.mu.Unlock()
+		return cl, nil
+	}
+	addr := w.addr
+	c.mu.Unlock()
+	pol := backoff.Policy{Base: 5 * time.Millisecond, Factor: 2, Max: 100 * time.Millisecond}
+	var cl *rpc.Client
+	var err error
+	for attempt := 1; attempt <= 5; attempt++ {
+		if d := pol.Delay(backoff.Key{Scope: "distrib-dial", Sub: addr, ID: w.id}, attempt); d > 0 {
+			time.Sleep(d)
+		}
+		cl, err = rpc.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("distrib: dial worker %d at %s: %w", w.id, addr, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.client == nil {
+		w.client = cl
+		return cl, nil
+	}
+	// Another dispatch dialed concurrently; keep the registered one.
+	go cl.Close()
+	return w.client, nil
+}
+
+// coordRPC is the worker-facing RPC surface.
+type coordRPC struct {
+	c *Coordinator
+}
+
+// Register adds a worker to the registry.
+func (r *coordRPC) Register(args RegisterArgs, reply *RegisterReply) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("distrib: coordinator closed")
+	}
+	c.nextWorker++
+	w := &workerState{
+		id:       c.nextWorker,
+		index:    args.Index,
+		addr:     args.Addr,
+		pid:      args.PID,
+		lastBeat: time.Now(),
+	}
+	c.workers[w.id] = w
+	reply.ID = w.id
+	reply.HeartbeatNanos = int64(c.heartbeat)
+	return nil
+}
+
+// Heartbeat refreshes a worker's liveness. Erroring tells a worker
+// already declared dead (a zombie) to exit: its writes are fenced, its
+// tasks re-dispatched.
+func (r *coordRPC) Heartbeat(args HeartbeatArgs, _ *Ack) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[args.ID]
+	if w == nil {
+		return fmt.Errorf("distrib: unknown worker %d", args.ID)
+	}
+	if w.dead {
+		return fmt.Errorf("distrib: worker %d declared dead", args.ID)
+	}
+	w.lastBeat = time.Now()
+	return nil
+}
+
+func (r *coordRPC) storage(fs int64) (dfs.Storage, error) {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.fsByID[fs]
+	if st == nil {
+		return nil, fmt.Errorf("distrib: unknown fs %d", fs)
+	}
+	return st, nil
+}
+
+// Splits serves input splits (reads are unfenced).
+func (r *coordRPC) Splits(args SplitsArgs, reply *SplitsReply) error {
+	st, err := r.storage(args.FS)
+	if err != nil {
+		return err
+	}
+	reply.Splits, err = st.Splits(args.Name)
+	return err
+}
+
+// Block serves one block of a file.
+func (r *coordRPC) Block(args BlockArgs, reply *BytesReply) error {
+	st, err := r.storage(args.FS)
+	if err != nil {
+		return err
+	}
+	reply.Data, err = st.Block(args.Name, args.Index)
+	return err
+}
+
+// ReadAll serves a whole file (side files, token orders).
+func (r *coordRPC) ReadAll(args NameArgs, reply *BytesReply) error {
+	st, err := r.storage(args.FS)
+	if err != nil {
+		return err
+	}
+	reply.Data, err = st.ReadAll(args.Name)
+	return err
+}
+
+// Exists serves an existence check.
+func (r *coordRPC) Exists(args NameArgs, reply *BoolReply) error {
+	st, err := r.storage(args.FS)
+	if err != nil {
+		return err
+	}
+	reply.OK = st.Exists(args.Name)
+	return nil
+}
+
+// List serves a prefix listing.
+func (r *coordRPC) List(args NameArgs, reply *ListReply) error {
+	st, err := r.storage(args.FS)
+	if err != nil {
+		return err
+	}
+	reply.Names = st.List(args.Name)
+	return nil
+}
+
+// Create opens a file for writing under the given lease and returns a
+// write handle. The file is recorded on the lease so revocation can
+// remove it.
+func (r *coordRPC) Create(args CreateArgs, reply *CreateReply) error {
+	c := r.c
+	c.mu.Lock()
+	l := c.leases[args.Lease]
+	if l == nil || l.state != leaseGranted {
+		c.mu.Unlock()
+		return ErrLeaseRevoked
+	}
+	st := l.fs
+	c.mu.Unlock()
+	w, err := st.Create(args.Name)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l.state != leaseGranted {
+		// Revoked while creating: seal and drop the file immediately.
+		w.Close()
+		st.Remove(args.Name)
+		return ErrLeaseRevoked
+	}
+	c.nextHandle++
+	c.handles[c.nextHandle] = &writerHandle{lease: l, w: w}
+	l.files = append(l.files, args.Name)
+	l.handles = append(l.handles, c.nextHandle)
+	reply.Handle = c.nextHandle
+	return nil
+}
+
+// Append writes a record batch through a handle, fenced per batch on
+// the owning lease.
+func (r *coordRPC) Append(args AppendArgs, _ *Ack) error {
+	c := r.c
+	c.mu.Lock()
+	h := c.handles[args.Handle]
+	if h == nil || h.lease.state != leaseGranted {
+		c.mu.Unlock()
+		return ErrLeaseRevoked
+	}
+	w := h.w
+	c.mu.Unlock()
+	for _, rec := range args.Records {
+		if err := w.Append(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseWriter seals a write handle.
+func (r *coordRPC) CloseWriter(args CloseArgs, _ *Ack) error {
+	c := r.c
+	c.mu.Lock()
+	h := c.handles[args.Handle]
+	if h == nil || h.lease.state != leaseGranted {
+		c.mu.Unlock()
+		return ErrLeaseRevoked
+	}
+	delete(c.handles, args.Handle)
+	w := h.w
+	c.mu.Unlock()
+	return w.Close()
+}
+
+// Rename renames under lease fencing. (Commit renames happen in the
+// coordinator's own process; this exists to complete the worker-side
+// Storage surface.)
+func (r *coordRPC) Rename(args RenameArgs, _ *Ack) error {
+	c := r.c
+	c.mu.Lock()
+	l := c.leases[args.Lease]
+	if l == nil || l.state != leaseGranted {
+		c.mu.Unlock()
+		return ErrLeaseRevoked
+	}
+	st := l.fs
+	c.mu.Unlock()
+	return st.Rename(args.Old, args.New)
+}
+
+// Remove removes under lease fencing.
+func (r *coordRPC) Remove(args RemoveArgs, _ *Ack) error {
+	c := r.c
+	c.mu.Lock()
+	l := c.leases[args.Lease]
+	if l == nil || l.state != leaseGranted {
+		c.mu.Unlock()
+		return ErrLeaseRevoked
+	}
+	st := l.fs
+	c.mu.Unlock()
+	return st.Remove(args.Name)
+}

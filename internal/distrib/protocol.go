@@ -1,0 +1,183 @@
+// Package distrib is the distributed execution backend: a coordinator
+// that dispatches map/reduce task attempts to real worker processes
+// over net/rpc. The coordinator owns the DFS, the retry policy, and the
+// single-winner commit; workers are stateless attempt executors that
+// read splits and write part files back through the coordinator's FS
+// service. Crash recovery is re-dispatch: a worker that dies mid-task
+// (heartbeat loss or broken connection) has its lease revoked — its
+// partial writes are fenced out and removed — and the attempt runs
+// again elsewhere, so join output is byte-identical to in-process
+// execution even under SIGKILL chaos.
+package distrib
+
+import (
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/mapreduce"
+)
+
+// Environment variables wiring a forked worker process to its
+// coordinator. MaybeWorker reads them at process start.
+const (
+	// EnvCoord holds the coordinator's RPC address; its presence turns
+	// the process into a worker.
+	EnvCoord = "SSJ_DISTRIB_COORD"
+	// EnvIndex is the worker's fork index (0-based); the
+	// "distrib.exit-after" crash hook fires only on index 0 so tests are
+	// deterministic about which worker dies.
+	EnvIndex = "SSJ_WORKER_INDEX"
+	// EnvSlots bounds concurrent task executions per worker (default 1).
+	EnvSlots = "SSJ_WORKER_SLOTS"
+)
+
+// ---- worker → coordinator ------------------------------------------------
+
+// RegisterArgs announces a freshly started worker: where to dial it for
+// task dispatch and which PID to SIGKILL in chaos runs.
+type RegisterArgs struct {
+	Addr  string
+	PID   int
+	Index int
+}
+
+// RegisterReply assigns the worker its ID and the heartbeat interval it
+// must keep.
+type RegisterReply struct {
+	ID             int
+	HeartbeatNanos int64
+}
+
+// HeartbeatArgs is the worker's periodic liveness report. A heartbeat
+// rejected with an error tells a zombie worker it has been declared
+// dead and must exit.
+type HeartbeatArgs struct {
+	ID int
+}
+
+// Ack is the empty reply of fire-and-forget calls.
+type Ack struct{}
+
+// SplitsArgs/NameArgs/BlockArgs address files of one registered FS.
+type SplitsArgs struct {
+	FS   int64
+	Name string
+}
+
+// NameArgs is the generic (fs, name) read argument.
+type NameArgs struct {
+	FS   int64
+	Name string
+}
+
+// BlockArgs reads one block of a file.
+type BlockArgs struct {
+	FS    int64
+	Name  string
+	Index int
+}
+
+// SplitsReply carries a file's input splits.
+type SplitsReply struct {
+	Splits []dfs.Split
+}
+
+// BytesReply carries file or block contents.
+type BytesReply struct {
+	Data []byte
+}
+
+// BoolReply carries an existence check.
+type BoolReply struct {
+	OK bool
+}
+
+// ListReply carries a sorted name listing.
+type ListReply struct {
+	Names []string
+}
+
+// CreateArgs opens a new file for writing under a lease; every write
+// through the returned handle is fenced on that lease staying granted.
+type CreateArgs struct {
+	FS    int64
+	Lease int64
+	Name  string
+}
+
+// CreateReply returns the write handle.
+type CreateReply struct {
+	Handle int64
+}
+
+// AppendArgs appends a batch of records through a write handle (workers
+// buffer appends and flush in batches to keep the datapath off the RPC
+// hot path).
+type AppendArgs struct {
+	Handle  int64
+	Records [][]byte
+}
+
+// CloseArgs seals a write handle.
+type CloseArgs struct {
+	Handle int64
+}
+
+// RenameArgs renames under lease fencing.
+type RenameArgs struct {
+	FS    int64
+	Lease int64
+	Old   string
+	New   string
+}
+
+// RemoveArgs removes under lease fencing.
+type RemoveArgs struct {
+	FS    int64
+	Lease int64
+	Name  string
+}
+
+// ---- coordinator → worker ------------------------------------------------
+
+// RunMapArgs dispatches one map attempt: the serializable job, the
+// split to process, and the (fs, lease) pair scoping the worker's FS
+// access. The attempt's per-reducer segments come back in the reply, so
+// a worker that dies after executing but before replying leaves no
+// committed state — the coordinator merely re-dispatches.
+type RunMapArgs struct {
+	FS      int64
+	Lease   int64
+	Spec    mapreduce.JobSpec
+	TaskID  int
+	Attempt int
+	Split   dfs.Split
+}
+
+// RunMapReply returns the attempt's output with its counters and
+// metrics in the same message, leaving no window where work is
+// committed but its counters unreported.
+type RunMapReply struct {
+	Parts    [][]byte
+	Counters map[string]int64
+	Metrics  mapreduce.TaskMetrics
+}
+
+// RunReduceArgs dispatches one reduce attempt: the reducer's segment
+// column and the coordinator-chosen temporary part name (unique per
+// dispatch, so re-dispatched attempts never collide).
+type RunReduceArgs struct {
+	FS      int64
+	Lease   int64
+	Spec    mapreduce.JobSpec
+	TaskID  int
+	Attempt int
+	Column  [][]byte
+	Temp    string
+}
+
+// RunReduceReply confirms the temp part file the attempt wrote; the
+// coordinator's commit renames it into place (single-winner).
+type RunReduceReply struct {
+	Temp     string
+	Counters map[string]int64
+	Metrics  mapreduce.TaskMetrics
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"fuzzyjoin/internal/core"
+	"fuzzyjoin/internal/datagen"
+	"fuzzyjoin/internal/dfs"
+	"fuzzyjoin/internal/distrib"
+	"fuzzyjoin/internal/mapreduce"
+)
+
+// distribWidths are the worker-process counts the ablation sweeps; 0 is
+// the in-process baseline (no RPC, no forked processes).
+var distribWidths = []int{0, 1, 2, 4}
+
+// DistribResult records the distributed-backend scaling ablation: the
+// standard self-join corpus run end to end in-process and on 1/2/4
+// forked worker processes over RPC. Unlike every other experiment —
+// which reports simulated makespans on a modeled cluster — this one
+// reports real wall-clock time, so absolute numbers depend on the host;
+// the speedup column (relative to one worker) is the portable part.
+type DistribResult struct {
+	Goos    string       `json:"goos"`
+	Goarch  string       `json:"goarch"`
+	CPUs    int          `json:"cpus"`
+	Records int          `json:"records"`
+	Pairs   int64        `json:"pairs"`
+	Rows    []DistribRow `json:"rows"`
+}
+
+// DistribRow is one backend width's measurement.
+type DistribRow struct {
+	Label   string  `json:"label"`
+	Workers int     `json:"workers"` // 0 = in-process
+	WallNs  int64   `json:"wall_ns"`
+	Speedup float64 `json:"speedup"` // wall(1 worker) / wall(this row)
+}
+
+// DistribAblation measures the distributed execution backend for real:
+// the x1 DBLP-like corpus is self-joined once in-process and once per
+// worker-fleet width, each distributed run forking its own worker
+// processes and dispatching every task attempt over RPC. All runs must
+// produce the same pair count (the backends are output-identical by
+// construction; this re-checks it at suite scale).
+func (s *Suite) DistribAblation() (*DistribResult, error) {
+	lines := datagen.Lines(s.w.dblpTimes(1))
+	r := &DistribResult{
+		Goos:    runtime.GOOS,
+		Goarch:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Records: len(lines),
+		Pairs:   -1,
+	}
+	for _, n := range distribWidths {
+		wall, pairs, err := s.runDistribCell(lines, n)
+		if err != nil {
+			return nil, fmt.Errorf("distrib %d worker(s): %w", n, err)
+		}
+		if r.Pairs < 0 {
+			r.Pairs = pairs
+		} else if pairs != r.Pairs {
+			return nil, fmt.Errorf("distrib %d worker(s): %d pairs, in-process found %d", n, pairs, r.Pairs)
+		}
+		label := "in-process"
+		if n > 0 {
+			label = fmt.Sprintf("%d worker(s)", n)
+		}
+		r.Rows = append(r.Rows, DistribRow{Label: label, Workers: n, WallNs: wall.Nanoseconds()})
+	}
+	var base int64 // the 1-worker row anchors the speedup curve
+	for _, row := range r.Rows {
+		if row.Workers == 1 {
+			base = row.WallNs
+		}
+	}
+	for i := range r.Rows {
+		if r.Rows[i].WallNs > 0 {
+			r.Rows[i].Speedup = float64(base) / float64(r.Rows[i].WallNs)
+		}
+	}
+	return r, nil
+}
+
+// runDistribCell runs one self-join and returns its wall-clock time and
+// pair count. workers == 0 runs in-process; otherwise a fresh worker
+// fleet is forked for the cell and torn down after (fork/teardown time
+// is excluded from the measurement — the paper's analogue is a
+// long-lived TaskTracker pool, not per-job process startup).
+func (s *Suite) runDistribCell(lines []string, workers int) (time.Duration, int64, error) {
+	fs := dfs.New(dfs.Options{BlockSize: s.w.p.BlockSize, Nodes: 1})
+	if err := mapreduce.WriteTextFile(fs, "dblp", lines); err != nil {
+		return 0, 0, err
+	}
+	cfg := s.w.baseCfg(fs, 1)
+	cfg.Work = "distrib"
+	if workers > 0 {
+		sess, err := distrib.Start(distrib.Options{Workers: workers, Stderr: io.Discard})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer sess.Close()
+		cfg.Runner = sess.Runner
+		// One dispatch in flight per worker process: host parallelism is
+		// the fleet width, not the local CPU count.
+		cfg.Parallelism = workers
+	}
+	start := time.Now()
+	res, err := core.SelfJoin(cfg, "dblp")
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), res.Pairs, nil
+}
+
+// Render prints the scaling table.
+func (r *DistribResult) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Label,
+			seconds(time.Duration(row.WallNs), false),
+			fmt.Sprintf("%.2f", row.Speedup),
+		}
+	}
+	return fmt.Sprintf("Distributed backend: real wall-clock, self-join x1 (%d records, %d pairs)\n",
+		r.Records, r.Pairs) +
+		"(speedup is relative to 1 worker; in-process shows the RPC + process overhead)\n" +
+		table([]string{"backend", "wall (s)", "speedup"}, rows)
+}
+
+// JSON renders the result as the BENCH_distrib.json document.
+func (r *DistribResult) JSON() ([]byte, error) {
+	doc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(doc, '\n'), nil
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"fuzzyjoin/internal/distrib"
+)
+
+// TestMain lets the distrib ablation fork this test binary as worker
+// processes.
+func TestMain(m *testing.M) {
+	distrib.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func TestDistribAblationSmoke(t *testing.T) {
+	s := NewSuite(tinyParams())
+	r, err := s.DistribAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(distribWidths) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(distribWidths))
+	}
+	if r.Pairs <= 0 {
+		t.Fatalf("pairs = %d", r.Pairs)
+	}
+	for _, row := range r.Rows {
+		if row.WallNs <= 0 {
+			t.Fatalf("row %q wall = %d", row.Label, row.WallNs)
+		}
+		if row.Workers == 1 && row.Speedup != 1 {
+			t.Fatalf("1-worker speedup = %v, want 1 (it is the baseline)", row.Speedup)
+		}
+		if row.Speedup <= 0 {
+			t.Fatalf("row %q speedup = %v", row.Label, row.Speedup)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "4 worker(s)") || !strings.Contains(out, "in-process") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+	doc, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DistribResult
+	if err := json.Unmarshal(doc, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.Pairs != r.Pairs || len(back.Rows) != len(r.Rows) {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"time"
 
+	"fuzzyjoin/internal/backoff"
 	"fuzzyjoin/internal/dfs"
 	"fuzzyjoin/internal/trace"
 )
@@ -79,37 +80,12 @@ func (p RetryPolicy) maxAttempts() int {
 
 // backoffDelay returns the sleep before the given attempt (>= 2):
 // exponential in the retry count, with deterministic jitter derived from
-// the attempt identity so re-runs of a job are reproducible.
+// the attempt identity so re-runs of a job are reproducible. The delay
+// computation lives in internal/backoff so the RPC dispatch retry path
+// (internal/distrib) shares the same policy and seed discipline.
 func (p RetryPolicy) backoffDelay(job string, phase Phase, taskID, attempt int) time.Duration {
-	if p.Backoff <= 0 || attempt <= 1 {
-		return 0
-	}
-	factor := p.BackoffFactor
-	if factor <= 0 {
-		factor = 2
-	}
-	d := float64(p.Backoff)
-	for i := 2; i < attempt; i++ {
-		d *= factor
-	}
-	if p.MaxBackoff > 0 && d > float64(p.MaxBackoff) {
-		d = float64(p.MaxBackoff)
-	}
-	// Jitter multiplies by [0.75, 1.25), derived from the attempt hash.
-	h := attemptHash(job, phase, taskID, attempt)
-	jitter := 0.75 + 0.5*float64(h%1024)/1024
-	return time.Duration(d * jitter)
-}
-
-// attemptHash hashes an attempt identity with FNV-1a.
-func attemptHash(job string, phase Phase, taskID, attempt int) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(job))
-	h.Write([]byte{0})
-	h.Write([]byte(phase))
-	h.Write([]byte{0, byte(taskID), byte(taskID >> 8), byte(taskID >> 16), byte(taskID >> 24),
-		byte(attempt), byte(attempt >> 8)})
-	return h.Sum64()
+	pol := backoff.Policy{Base: p.Backoff, Factor: p.BackoffFactor, Max: p.MaxBackoff}
+	return pol.Delay(backoff.Key{Scope: job, Sub: string(phase), ID: taskID}, attempt)
 }
 
 // ErrInjectedFault marks attempt failures forced by a FaultInjector.
@@ -264,6 +240,7 @@ func attemptEndEvent(job string, phase Phase, taskID, attempt int, tm TaskMetric
 		InRecs: tm.InputRecords, InBytes: tm.InputBytes,
 		OutRecs: tm.OutputRecords, OutBytes: tm.OutputBytes,
 		SpillCount: tm.SpillCount, SpillBytes: tm.SpillBytes,
+		Worker: tm.Worker,
 	}
 }
 

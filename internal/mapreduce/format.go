@@ -104,7 +104,7 @@ func decodeText(block []byte, baseOffset int64, fn func(key, value []byte) error
 }
 
 // readSplit feeds the records of one split to fn.
-func readSplit(fs *dfs.FS, format Format, split dfs.Split, fn func(key, value []byte) error) error {
+func readSplit(fs dfs.Storage, format Format, split dfs.Split, fn func(key, value []byte) error) error {
 	block, err := fs.Block(split.File, split.Block)
 	if err != nil {
 		return err
@@ -121,14 +121,14 @@ func readSplit(fs *dfs.FS, format Format, split dfs.Split, fn func(key, value []
 
 // fileWriter writes records of the given format to a DFS file.
 type fileWriter struct {
-	w      *dfs.Writer
+	w      dfs.RecordWriter
 	format Format
 	buf    []byte
 	recs   int64
 	bytes  int64
 }
 
-func newFileWriter(fs *dfs.FS, name string, format Format) (*fileWriter, error) {
+func newFileWriter(fs dfs.Storage, name string, format Format) (*fileWriter, error) {
 	w, err := fs.Create(name)
 	if err != nil {
 		return nil, err
@@ -163,7 +163,7 @@ func (fw *fileWriter) close() error { return fw.w.Close() }
 
 // WriteTextFile creates a Text-format file from whole lines (a test and
 // tooling convenience).
-func WriteTextFile(fs *dfs.FS, name string, lines []string) error {
+func WriteTextFile(fs dfs.Storage, name string, lines []string) error {
 	w, err := fs.Create(name)
 	if err != nil {
 		return err
@@ -177,7 +177,7 @@ func WriteTextFile(fs *dfs.FS, name string, lines []string) error {
 }
 
 // WritePairsFile creates a Pairs-format file from the given pairs.
-func WritePairsFile(fs *dfs.FS, name string, pairs []Pair) error {
+func WritePairsFile(fs dfs.Storage, name string, pairs []Pair) error {
 	w, err := fs.Create(name)
 	if err != nil {
 		return err
@@ -210,7 +210,7 @@ func (j *Job) formatFor(file string) Format {
 
 // expandInputs resolves input names: a name ending in "/" expands to all
 // files with that prefix.
-func expandInputs(fs *dfs.FS, inputs []string) ([]string, error) {
+func expandInputs(fs dfs.Storage, inputs []string) ([]string, error) {
 	var out []string
 	for _, in := range inputs {
 		if len(in) > 0 && in[len(in)-1] == '/' {
@@ -233,7 +233,7 @@ func expandInputs(fs *dfs.FS, inputs []string) ([]string, error) {
 }
 
 // ReadPairs returns every pair in a Pairs-format file.
-func ReadPairs(fs *dfs.FS, name string) ([]Pair, error) {
+func ReadPairs(fs dfs.Storage, name string) ([]Pair, error) {
 	splits, err := fs.Splits(name)
 	if err != nil {
 		return nil, err
@@ -254,7 +254,7 @@ func ReadPairs(fs *dfs.FS, name string) ([]Pair, error) {
 // ReadOutputPairs returns every pair across all part files under prefix.
 // List is path-segment aware, so a bare job-output prefix reads exactly
 // that job's part files, never a sibling prefix's.
-func ReadOutputPairs(fs *dfs.FS, prefix string) ([]Pair, error) {
+func ReadOutputPairs(fs dfs.Storage, prefix string) ([]Pair, error) {
 	var out []Pair
 	for _, name := range fs.List(prefix) {
 		ps, err := ReadPairs(fs, name)
@@ -269,7 +269,7 @@ func ReadOutputPairs(fs *dfs.FS, prefix string) ([]Pair, error) {
 // ReadLines returns every line across all part files under prefix for
 // Text-format outputs (or a single file if prefix names one — the
 // segment-aware List includes the file named exactly `prefix` itself).
-func ReadLines(fs *dfs.FS, prefix string) ([]string, error) {
+func ReadLines(fs dfs.Storage, prefix string) ([]string, error) {
 	names := fs.List(prefix)
 	var out []string
 	for _, name := range names {

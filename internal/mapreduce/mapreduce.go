@@ -161,8 +161,12 @@ func (v *Values) Len() int { return len(v.pairs) }
 type Job struct {
 	// Name labels the job in metrics and errors.
 	Name string
-	// FS is the file system inputs are read from and output written to.
-	FS *dfs.FS
+	// FS is the storage inputs are read from and output written to.
+	// Locally this is a *dfs.FS; under the distributed backend a worker
+	// process receives an RPC proxy to the coordinator-owned FS. Node
+	// failure simulation (NodeFailures) requires the concrete *dfs.FS
+	// and is skipped for other implementations.
+	FS dfs.Storage
 	// Inputs are the input file names. Names may be prefixes ending in
 	// "/" which expand to all files underneath (part-file directories).
 	Inputs []string
@@ -249,6 +253,20 @@ type Job struct {
 	// lost-output recomputation. nil disables tracing at zero cost; the
 	// job's output is byte-identical either way.
 	Trace *trace.Tracer
+	// Runner, when non-nil, executes task attempt bodies through an
+	// external dispatcher (the distributed backend's RPC workers)
+	// instead of in-process. The control plane — attempt numbering,
+	// retry backoff, fault injection, single-winner commit, counter
+	// merging — stays with Run either way. Speculative execution is an
+	// in-process race and is ignored when a Runner is set.
+	Runner TaskRunner
+	// Program names a registered program builder (RegisterProgram) and
+	// ProgramSpec carries its serialized configuration; together they
+	// let a worker process rebuild the job's function-valued fields
+	// (Mapper, Reducer, comparators) from JobSpec. A job with an empty
+	// Program can only run in-process.
+	Program     string
+	ProgramSpec string
 }
 
 // spillEmitter triggers a spill when the buffered pair count reaches the
@@ -329,7 +347,7 @@ type Context struct {
 	// Memory is the task's budget tracker.
 	Memory *Memory
 
-	fs       *dfs.FS
+	fs       dfs.Storage
 	side     map[string][]byte
 	counters *Counters
 }
@@ -447,6 +465,9 @@ type TaskMetrics struct {
 	// sequential retry chain).
 	Speculative int           `json:"speculative,omitempty"`
 	BackupCost  time.Duration `json:"backup_cost_ns,omitempty"`
+	// Worker names the worker process the committed attempt ran on
+	// (distributed backend only; empty in-process).
+	Worker string `json:"worker,omitempty"`
 }
 
 // Metrics describes one job execution.

@@ -59,6 +59,12 @@ type NodeFailure struct {
 // stand-in for the namenode's background re-replication running between
 // phases.
 func applyNodeFailures(job *Job, barrier Barrier) {
+	// Node liveness is a cluster-simulation concern of the concrete
+	// in-process DFS; remote storage proxies have no liveness surface.
+	fs, ok := job.FS.(*dfs.FS)
+	if !ok {
+		return
+	}
 	applied := false
 	for _, nf := range job.NodeFailures {
 		if nf.Barrier != barrier || (nf.Job != "" && nf.Job != job.Name) {
@@ -66,11 +72,11 @@ func applyNodeFailures(job *Job, barrier Barrier) {
 		}
 		// Trace only liveness transitions: a wildcard event re-applied by
 		// every pipeline job would otherwise spam one line per job.
-		changed := job.FS.NodeAlive(nf.Node) == !nf.Recover
+		changed := fs.NodeAlive(nf.Node) == !nf.Recover
 		if nf.Recover {
-			job.FS.RecoverNode(nf.Node)
+			fs.RecoverNode(nf.Node)
 		} else {
-			job.FS.FailNode(nf.Node)
+			fs.FailNode(nf.Node)
 		}
 		if changed && job.Trace.Enabled() {
 			typ := trace.NodeDown
@@ -83,7 +89,7 @@ func applyNodeFailures(job *Job, barrier Barrier) {
 		applied = true
 	}
 	if applied {
-		job.FS.ReReplicate()
+		fs.ReReplicate()
 	}
 }
 
@@ -91,7 +97,11 @@ func applyNodeFailures(job *Job, barrier Barrier) {
 // live replica holder of its input split (the task ran data-local), or
 // a deterministic live node when every replica holder is dead, so the
 // simulated placement stays balanced.
-func mapOutputNode(fs *dfs.FS, split dfs.Split, taskID int) int {
+func mapOutputNode(st dfs.Storage, split dfs.Split, taskID int) int {
+	fs, ok := st.(*dfs.FS)
+	if !ok {
+		return 0
+	}
 	for _, n := range split.Locations {
 		if fs.NodeAlive(n) {
 			return n
@@ -113,18 +123,28 @@ func mapOutputNode(fs *dfs.FS, split dfs.Split, taskID int) int {
 func recoverLostMapOutputs(job *Job, splits []dfs.Split, side map[string][]byte,
 	segments [][][]byte, outNodes []int, metrics *Metrics) (int, error) {
 
+	fs, ok := job.FS.(*dfs.FS)
+	if !ok {
+		return 0, nil
+	}
 	recomputed := 0
 	for i, node := range outNodes {
-		if job.FS.NodeAlive(node) {
+		if fs.NodeAlive(node) {
 			continue
 		}
 		if job.Trace.Enabled() {
 			job.Trace.Emit(trace.Event{Type: trace.RecomputeStart, Job: job.Name,
 				Phase: trace.PhaseMap, Task: i, Node: node})
 		}
-		res, tm, err := runTaskAttempts(job, MapPhase, i, func(attempt int) (mapResult, TaskMetrics, error) {
+		body := func(attempt int) (mapResult, TaskMetrics, error) {
 			return runMapTask(job, i, attempt, splits[i], side)
-		}, nil)
+		}
+		if job.Runner != nil {
+			body = func(attempt int) (mapResult, TaskMetrics, error) {
+				return dispatchMap(job, i, attempt, splits[i])
+			}
+		}
+		res, tm, err := runTaskAttempts(job, MapPhase, i, body, nil)
 		if err != nil {
 			return recomputed, fmt.Errorf("map task %d: recomputing output lost on node %d: %w", i, node, err)
 		}
@@ -133,7 +153,7 @@ func recoverLostMapOutputs(job *Job, splits []dfs.Split, side map[string][]byte,
 				Phase: trace.PhaseMap, Task: i, Node: node, Cost: int64(tm.Cost)})
 		}
 		segments[i] = res.parts
-		outNodes[i] = mapOutputNode(job.FS, splits[i], i)
+		outNodes[i] = mapOutputNode(fs, splits[i], i)
 		mt := &metrics.MapTasks[i]
 		if len(mt.AttemptCosts) == 0 {
 			mt.AttemptCosts = []time.Duration{mt.Cost}

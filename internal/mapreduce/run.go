@@ -74,9 +74,15 @@ func Run(job Job) (*Metrics, error) {
 		job.Trace.Emit(trace.Event{Type: trace.PhaseStart, Job: job.Name, Phase: trace.PhaseMap})
 	}
 	if err := runParallel(len(splits), job.Parallelism, func(i int) error {
-		res, tm, err := runTaskAttempts(&job, MapPhase, i, func(attempt int) (mapResult, TaskMetrics, error) {
+		body := func(attempt int) (mapResult, TaskMetrics, error) {
 			return runMapTask(&job, i, attempt, splits[i], side)
-		}, nil)
+		}
+		if job.Runner != nil {
+			body = func(attempt int) (mapResult, TaskMetrics, error) {
+				return dispatchMap(&job, i, attempt, splits[i])
+			}
+		}
+		res, tm, err := runTaskAttempts(&job, MapPhase, i, body, nil)
 		if err != nil {
 			return err
 		}
@@ -118,11 +124,23 @@ func Run(job Job) (*Metrics, error) {
 			tm  TaskMetrics
 			err error
 		)
-		if job.Speculative {
-			res, tm, err = runReduceSpeculative(&job, r, segments, side, track)
-		} else {
+		column := reduceColumn(segments, r)
+		switch {
+		case job.Runner != nil:
+			// Remote dispatch: the runner picks a collision-free temp name
+			// per dispatch, and lease revocation cleans up after attempts
+			// whose RPC failed. Attempts the coordinator fails AFTER a
+			// successful reply (injected fault, abandoned timeout) leave a
+			// completed lease and an orphaned temp file; sweepRunnerTemps
+			// removes those before the job finishes.
 			res, tm, err = runTaskAttempts(&job, ReducePhase, r, func(attempt int) (reduceResult, TaskMetrics, error) {
-				return runReduceTask(&job, r, attempt, segments, side, track)
+				return dispatchReduce(&job, r, attempt, column)
+			}, nil)
+		case job.Speculative:
+			res, tm, err = runReduceSpeculative(&job, r, column, side, track)
+		default:
+			res, tm, err = runTaskAttempts(&job, ReducePhase, r, func(attempt int) (reduceResult, TaskMetrics, error) {
+				return runReduceTask(&job, r, attempt, column, side, tempPartName(job.Output, r, attempt), track)
 			}, func(attempt int) {
 				// Discard the failed attempt's partial part file (if the
 				// attempt got far enough to create it) before retrying.
@@ -133,7 +151,9 @@ func Run(job Job) (*Metrics, error) {
 			return err
 		}
 		// Commit: rename the attempt's temp file to the final part name
-		// and fold its counters into the job totals.
+		// and fold its counters into the job totals. (add is a no-op for
+		// in-process attempts, which already tracked their temp file.)
+		track.add(res.temp)
 		final := partName(job.Output, r)
 		if err := job.FS.Rename(res.temp, final); err != nil {
 			return fmt.Errorf("reduce task %d: commit: %w", r, err)
@@ -143,6 +163,7 @@ func Run(job Job) (*Metrics, error) {
 		metrics.ReduceTasks[r] = tm
 		return nil
 	}); err != nil {
+		sweepRunnerTemps(&job)
 		track.removeAll(job.FS)
 		return nil, fmt.Errorf("job %s: %w", job.Name, err)
 	}
@@ -151,6 +172,7 @@ func Run(job Job) (*Metrics, error) {
 	// zombie goroutines may have created files after the attempt was
 	// already declared failed.
 	track.removeTemps(job.FS, job.Output)
+	sweepRunnerTemps(&job)
 
 	metrics.Counters = counters.Snapshot()
 	if job.Trace.Enabled() {
@@ -159,6 +181,28 @@ func Run(job Job) (*Metrics, error) {
 			Detail: fmt.Sprintf("shuffle_bytes=%d", metrics.TotalShuffleBytes())})
 	}
 	return metrics, nil
+}
+
+// sweepRunnerTemps removes temporary part files remote attempts left
+// under the job output. The coordinator learns a remote attempt's temp
+// name only from its reply, so when it fails an attempt AFTER a
+// successful reply (injected fault, abandoned timeout) no caller can
+// discard that file individually — instead the job sweeps the
+// _temporary- namespace it owns, which every dispatch-chosen temp name
+// lives under. Committed part files are never touched. Local attempts
+// are tracked individually and cleaned through the outputTracker.
+func sweepRunnerTemps(job *Job) {
+	if job.Runner == nil {
+		return
+	}
+	// List's prefix matching is path-segment aware, so list the whole
+	// output directory and filter on the raw name prefix.
+	tempPrefix := job.Output + "/_temporary-"
+	for _, name := range job.FS.List(job.Output + "/") {
+		if strings.HasPrefix(name, tempPrefix) {
+			job.FS.Remove(name)
+		}
+	}
 }
 
 // partName is the committed output file of reduce task r.
@@ -200,7 +244,7 @@ func (t *outputTracker) rename(oldName, newName string) {
 
 // remove deletes one tracked file if it exists (a failed attempt may not
 // have gotten far enough to create it).
-func (t *outputTracker) remove(fs *dfs.FS, name string) {
+func (t *outputTracker) remove(fs dfs.Storage, name string) {
 	t.mu.Lock()
 	delete(t.files, name)
 	t.mu.Unlock()
@@ -210,7 +254,7 @@ func (t *outputTracker) remove(fs *dfs.FS, name string) {
 }
 
 // removeAll deletes every file the job created (failure cleanup).
-func (t *outputTracker) removeAll(fs *dfs.FS) {
+func (t *outputTracker) removeAll(fs dfs.Storage) {
 	t.mu.Lock()
 	names := make([]string, 0, len(t.files))
 	for n := range t.files {
@@ -227,7 +271,7 @@ func (t *outputTracker) removeAll(fs *dfs.FS) {
 
 // removeTemps deletes tracked files still under temporary names (left by
 // abandoned attempts), keeping committed part files.
-func (t *outputTracker) removeTemps(fs *dfs.FS, output string) {
+func (t *outputTracker) removeTemps(fs dfs.Storage, output string) {
 	t.mu.Lock()
 	var names []string
 	prefix := output + "/_temporary-"
@@ -245,7 +289,7 @@ func (t *outputTracker) removeTemps(fs *dfs.FS, output string) {
 	}
 }
 
-func loadSideFiles(fs *dfs.FS, names []string) (map[string][]byte, int64, error) {
+func loadSideFiles(fs dfs.Storage, names []string) (map[string][]byte, int64, error) {
 	side := make(map[string][]byte, len(names))
 	var total int64
 	for _, n := range names {
@@ -608,7 +652,21 @@ type reduceResult struct {
 	counters *Counters
 }
 
-func runReduceTask(job *Job, r, attempt int, segments [][][]byte, side map[string][]byte, track *outputTracker) (reduceResult, TaskMetrics, error) {
+// reduceColumn gathers reducer r's encoded segment from every map
+// task's output — the slice of the shuffle matrix one reduce attempt
+// consumes (and, under the distributed backend, the data shipped in the
+// dispatch request).
+func reduceColumn(segments [][][]byte, r int) [][]byte {
+	column := make([][]byte, 0, len(segments))
+	for _, seg := range segments {
+		if r < len(seg) {
+			column = append(column, seg[r])
+		}
+	}
+	return column
+}
+
+func runReduceTask(job *Job, r, attempt int, column [][]byte, side map[string][]byte, temp string, track *outputTracker) (reduceResult, TaskMetrics, error) {
 	counters := &Counters{}
 	ctx := &Context{
 		JobName:     job.Name,
@@ -631,11 +689,10 @@ func runReduceTask(job *Job, r, attempt int, segments [][][]byte, side map[strin
 	// decoded pair by pair as the loser tree consumes them, so the task
 	// never materializes the merged partition.
 	var cursors []*runCursor
-	for _, seg := range segments {
-		if r >= len(seg) || len(seg[r]) == 0 {
+	for _, data := range column {
+		if len(data) == 0 {
 			continue
 		}
-		data := seg[r]
 		tm.InputBytes += int64(len(data))
 		if job.CompressShuffle {
 			var err error
@@ -650,10 +707,13 @@ func runReduceTask(job *Job, r, attempt int, segments [][][]byte, side map[strin
 		return res, tm, fmt.Errorf("reduce task %d: %w", r, err)
 	}
 
-	// Write under an attempt-suffixed temporary name; Run renames it to
-	// the final part name only when the attempt commits.
-	res.temp = tempPartName(job.Output, r, attempt)
-	track.add(res.temp)
+	// Write under the caller-chosen temporary name; Run renames it to
+	// the final part name only when the attempt commits. track is nil on
+	// workers, where the coordinator's lease machinery owns cleanup.
+	res.temp = temp
+	if track != nil {
+		track.add(res.temp)
+	}
 	fw, err := newFileWriter(job.FS, res.temp, job.OutputFormat)
 	if err != nil {
 		return res, tm, err

@@ -27,7 +27,7 @@ import (
 // chain. If one attempt fails (injected fault, panic, timeout) the
 // survivor commits, making speculation an availability mechanism too;
 // the job fails only when both attempts do.
-func runReduceSpeculative(job *Job, r int, segments [][][]byte,
+func runReduceSpeculative(job *Job, r int, column [][]byte,
 	side map[string][]byte, track *outputTracker) (reduceResult, TaskMetrics, error) {
 
 	type outcome struct {
@@ -51,7 +51,7 @@ func runReduceSpeculative(job *Job, r int, segments [][][]byte,
 			}
 			o.res, o.tm, o.err = runOneAttempt(job, ReducePhase, r, attempt,
 				func(attempt int) (reduceResult, TaskMetrics, error) {
-					return runReduceTask(job, r, attempt, segments, side, track)
+					return runReduceTask(job, r, attempt, column, side, tempPartName(job.Output, r, attempt), track)
 				})
 			if o.err == nil && job.FaultInjector != nil {
 				ref := TaskRef{Job: job.Name, Phase: ReducePhase, TaskID: r, Attempt: attempt}

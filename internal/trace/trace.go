@@ -121,6 +121,11 @@ type Event struct {
 	End   int64  `json:"end_ns,omitempty"`
 	Kind  string `json:"kind,omitempty"`
 
+	// Worker identifies the worker process a committed attempt executed
+	// on ("w3"); empty for in-process execution. Additive: absent fields
+	// decode as empty, so the schema version is unchanged.
+	Worker string `json:"worker,omitempty"`
+
 	Err    string `json:"err,omitempty"`
 	Detail string `json:"detail,omitempty"`
 }
