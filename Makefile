@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race tier1 smoke bench bench-engine bench-distrib conformance conformance-dist cover fuzz-smoke
+.PHONY: all build test vet staticcheck race tier1 smoke serve-smoke bench bench-engine bench-distrib bench-serve conformance conformance-dist cover fuzz-smoke
 
 all: tier1
 
@@ -29,7 +29,7 @@ staticcheck:
 
 race:
 	$(GO) test -race ./internal/mapreduce/... ./internal/dfs/... \
-		./internal/distrib/... ./internal/backoff/...
+		./internal/distrib/... ./internal/backoff/... ./internal/ssjserve/...
 
 tier1: build test vet staticcheck race
 
@@ -50,9 +50,21 @@ smoke:
 # fails. The bare target covers the in-process modes; dist cells (forked
 # worker processes over RPC) run in conformance-dist.
 conformance:
-	$(GO) run ./cmd/ssjcheck -seed 1 -records 40
-	$(GO) run ./cmd/ssjcheck -seed 2 -records 50 -tau 0.7
-	$(GO) run ./cmd/ssjcheck -seed 3 -records 60 -vocab 64 -skew 2.0 -tau 0.6
+	$(GO) run ./cmd/ssjcheck -seed 1 -records 40 -serve
+	$(GO) run ./cmd/ssjcheck -seed 2 -records 50 -tau 0.7 -serve
+	$(GO) run ./cmd/ssjcheck -seed 3 -records 60 -vocab 64 -skew 2.0 -tau 0.6 -serve
+
+# serve-smoke is the online-service CI gate: the server comes up on an
+# ephemeral port, 100 queries run through real HTTP — interleaved with
+# incremental /add ingestion that crosses a drift re-order — every
+# answer is diffed against the brute-force oracle, the metrics document
+# lands in serve-out/metrics.json, and the server shuts down cleanly.
+serve-smoke:
+	@mkdir -p serve-out
+	$(GO) run ./cmd/ssjserve -selfcheck 100 -records 150 -seed 5 \
+		-metrics-out serve-out/metrics.json
+	@test -s serve-out/metrics.json
+	@echo "serve metrics in serve-out/metrics.json"
 
 # conformance-dist exercises the distributed backend: a dist-only sweep
 # on two forked worker processes, a chaos sweep that SIGKILLs workers
@@ -116,3 +128,10 @@ bench-engine:
 # count, both recorded in the document).
 bench-distrib:
 	$(GO) run ./cmd/ssjexp -only distrib -distrib-out BENCH_distrib.json
+
+# bench-serve measures the online service under a Zipf-skewed query
+# stream: QPS and p50/p99 latency per index shard count, recorded to
+# BENCH_serve.json (real wall-clock; host and CPU count are recorded in
+# the document, and every shard count must serve the identical pairs).
+bench-serve:
+	$(GO) run ./cmd/ssjexp -only serve -serve-out BENCH_serve.json

@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -104,7 +105,8 @@ func main() {
 	if *nodes < 1 {
 		fatal(fmt.Errorf("-nodes %d: need at least one node", *nodes))
 	}
-	fs := fuzzyjoin.NewReplicatedFS(*nodes, *replication)
+	fs := fuzzyjoin.NewFS(*nodes,
+		fuzzyjoin.Replication(*replication), fuzzyjoin.AutoReReplicate(true))
 	if *nodeFail >= 0 {
 		if *nodeFail >= *nodes {
 			fatal(fmt.Errorf("-node-fail %d: cluster has nodes 0..%d", *nodeFail, *nodes-1))
@@ -146,15 +148,14 @@ func main() {
 		fatal(err)
 	}
 
-	var res *fuzzyjoin.Result
-	if *in2 == "" {
-		res, err = fuzzyjoin.SelfJoin(cfg, "R")
-	} else {
+	spec := fuzzyjoin.JoinSpec{Config: cfg, Input: "R"}
+	if *in2 != "" {
 		if err := loadFile(fs, "S", *in2); err != nil {
 			fatal(err)
 		}
-		res, err = fuzzyjoin.RSJoin(cfg, "R", "S")
+		spec.InputS = "S"
 	}
+	res, err := fuzzyjoin.Join(context.Background(), spec)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -86,7 +87,8 @@ func TestEndToEndViaCLIHelpers(t *testing.T) {
 	if err := loadFile(fs, "R", path); err != nil {
 		t.Fatal(err)
 	}
-	res, err := fuzzyjoin.SelfJoin(cfg, "R")
+	res, err := fuzzyjoin.Join(context.Background(),
+		fuzzyjoin.JoinSpec{Config: cfg, Input: "R"})
 	if err != nil {
 		t.Fatal(err)
 	}

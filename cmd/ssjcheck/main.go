@@ -13,7 +13,7 @@
 //	         [-skew Z] [-neardup R] [-title-min N] [-title-max N] [-overlap F]
 //	         [-join self,rs] [-combo LIST] [-routing LIST] [-blocks LIST]
 //	         [-bitmap LIST] [-exec LIST] [-workers N] [-chaos RATE] [-chaos-seed S]
-//	         [-sweep] [-invariants] [-minimize] [-v]
+//	         [-sweep] [-invariants] [-serve] [-minimize] [-v]
 //
 // The matrix filters take comma-separated allowlists (empty = all):
 // combos like "BTO-PK-BRJ,OPTO-BK-OPRJ", routings "individual,grouped",
@@ -72,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		sweep      = fs.Bool("sweep", true, "run the matrix sweep against the oracle")
 		invariants = fs.Bool("invariants", true, "run the metamorphic invariant suite")
+		serve      = fs.Bool("serve", false, "differentially verify the online service (ssjserve): every Match answer must equal the oracle, including after incremental ingestion")
 		minimize   = fs.Bool("minimize", true, "shrink failing workloads before reporting")
 		verbose    = fs.Bool("v", false, "log every variant and invariant as it runs")
 	)
@@ -186,7 +187,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		failures += len(fails)
 	}
-	if !*sweep && !*invariants {
+	if *serve {
+		start := time.Now()
+		serveShards := []int{1, 8}
+		serveFails := 0
+		for _, shards := range serveShards {
+			logf("serve: shards=%d", shards)
+			if err := conformance.ServeCheck(w, p, shards); err != nil {
+				fmt.Fprintf(stdout, "SERVE %v\n", err)
+				serveFails++
+			}
+		}
+		fmt.Fprintf(stdout, "serve: %d shard counts checked, %d failed (%v)\n",
+			len(serveShards), serveFails, time.Since(start).Round(time.Millisecond))
+		failures += serveFails
+	}
+	if !*sweep && !*invariants && !*serve {
 		fmt.Fprintln(stderr, "ssjcheck: nothing to do (-sweep=false -invariants=false)")
 		return 2
 	}

@@ -10,11 +10,12 @@
 // -only selects a comma-separated subset of experiment names (fig8, fig9,
 // table1, fig11, table2, fig12, fig13, fig14, groups, skew, blocks,
 // filters, kernels, routing, combiner, singlestage, engine, tau, faults,
-// nodefaults, distrib).
+// nodefaults, distrib, serve).
 //
-// Unlike the simulated-makespan experiments, "distrib" measures real
-// wall-clock time on forked worker processes; -distrib-out FILE records
-// its result as JSON (the committed BENCH_distrib.json).
+// Unlike the simulated-makespan experiments, "distrib" and "serve"
+// measure real wall-clock time; -distrib-out FILE and -serve-out FILE
+// record their results as JSON (the committed BENCH_distrib.json and
+// BENCH_serve.json).
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 		only   = flag.String("only", "", "comma-separated experiment subset")
 
 		distribOut = flag.String("distrib-out", "", "write the distrib ablation result as JSON to this file")
+		serveOut   = flag.String("serve-out", "", "write the serve ablation result as JSON to this file")
 
 		traceOn  = flag.Bool("trace", false, "also run the traced fault-tolerance demo and write trace.jsonl, timeline.svg, and metrics.json")
 		traceOut = flag.String("trace-out", "", "directory for the trace demo artifacts (implies -trace; default \"trace\" when -trace is set)")
@@ -125,16 +127,23 @@ func main() {
 		if sp, ok := r.(*experiments.SpeedupResult); ok {
 			writeSVG(name+"-relative", sp.RelativeSVG())
 		}
-		if dr, ok := r.(*experiments.DistribResult); ok && *distribOut != "" {
-			doc, err := dr.JSON()
+		writeJSON := func(path string, doc []byte, err error) {
 			if err == nil {
-				err = os.WriteFile(*distribOut, doc, 0o644)
+				err = os.WriteFile(path, doc, 0o644)
 			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ssjexp:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("[wrote %s]\n", *distribOut)
+			fmt.Printf("[wrote %s]\n", path)
+		}
+		if dr, ok := r.(*experiments.DistribResult); ok && *distribOut != "" {
+			doc, err := dr.JSON()
+			writeJSON(*distribOut, doc, err)
+		}
+		if sr, ok := r.(*experiments.ServeResult); ok && *serveOut != "" {
+			doc, err := sr.JSON()
+			writeJSON(*serveOut, doc, err)
 		}
 		fmt.Printf("[%s ran in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -160,6 +169,7 @@ func main() {
 	run("faults", func() (renderer, error) { return s.FaultAblation() })
 	run("nodefaults", func() (renderer, error) { return s.NodeFaultAblation() })
 	run("distrib", func() (renderer, error) { return s.DistribAblation() })
+	run("serve", func() (renderer, error) { return s.ServeAblation() })
 
 	if *traceOn {
 		start := time.Now()

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fuzzyjoin/internal/conformance"
+	"fuzzyjoin/internal/ssjserve"
+)
+
+func TestLoadCorpus(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "recs.tsv")
+	content := "1\ttitle one\tauthor\trest\n\n2\ttitle two\tauthor\trest\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := loadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].RID != 1 || recs[1].Fields[0] != "title two" {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if _, err := loadCorpus(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("loadCorpus accepted a missing path")
+	}
+	bad := filepath.Join(dir, "bad.tsv")
+	if err := os.WriteFile(bad, []byte("not a record\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCorpus(bad); err == nil {
+		t.Fatal("loadCorpus accepted a malformed line")
+	}
+}
+
+// TestSelfcheckEndToEnd drives the smoke gate in-process: a real HTTP
+// server, oracle-diffed queries, HTTP ingestion, and a metrics artifact.
+func TestSelfcheckEndToEnd(t *testing.T) {
+	w := conformance.Workload{Records: 60, Seed: 3}
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	err := runSelfcheck(w.SelfRecords(), ssjserve.Options{Threshold: 0.8}, 50, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ssjserve.Stats
+	if err := json.Unmarshal(doc, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 50 || st.Adds == 0 || st.Schema == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,63 @@
+//lint:file-ignore SA1019 This file exists to pin the behavior of the
+// deprecated wrappers until they are removed.
+
+package fuzzyjoin_test
+
+import (
+	"testing"
+
+	"fuzzyjoin"
+)
+
+// The deprecated entry points are thin wrappers over Join; these tests
+// pin that they keep answering until the next major version removes
+// them (see the package deprecation policy).
+
+func TestDeprecatedSelfJoinRecords(t *testing.T) {
+	pairs, err := fuzzyjoin.SelfJoinRecords(pubs(), fuzzyjoin.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(pairs))
+	}
+}
+
+func TestDeprecatedRSJoinRecords(t *testing.T) {
+	r := pubs()[:3]
+	s := pubs()[2:]
+	for i := range s {
+		s[i].RID += 100
+	}
+	pairs, err := fuzzyjoin.RSJoinRecords(r, s, fuzzyjoin.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(pairs))
+	}
+}
+
+func TestDeprecatedFileJoins(t *testing.T) {
+	fs := fuzzyjoin.NewFS(2)
+	if err := fuzzyjoin.WriteRecords(fs, "r", pubs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fuzzyjoin.WriteRecords(fs, "s", pubs()[2:]); err != nil {
+		t.Fatal(err)
+	}
+	self, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{FS: fs, Work: "w1"}, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.Pairs != 2 {
+		t.Fatalf("self pairs = %d, want 2", self.Pairs)
+	}
+	rs, err := fuzzyjoin.RSJoin(fuzzyjoin.Config{FS: fs, Work: "w2"}, "r", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Pairs == 0 {
+		t.Fatal("rs join found no pairs")
+	}
+}

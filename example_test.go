@@ -1,34 +1,36 @@
 package fuzzyjoin_test
 
 import (
+	"context"
 	"fmt"
 
 	"fuzzyjoin"
 )
 
-// The zero Config runs the paper's recommended configuration: word
-// tokens over title+authors, Jaccard at τ = 0.80, BTO-BK-BRJ.
-func ExampleSelfJoinRecords() {
+// The zero JoinSpec Config runs the paper's recommended configuration:
+// word tokens over title+authors, Jaccard at τ = 0.80, BTO-BK-BRJ.
+// In-memory joins return their pairs on Result.Joined.
+func ExampleJoin() {
 	pubs := []fuzzyjoin.Record{
 		{RID: 1, Fields: []string{"Efficient Parallel Set-Similarity Joins Using MapReduce", "Vernica Carey Li", ""}},
 		{RID: 2, Fields: []string{"Efficient Parallel Set Similarity Joins using MapReduce", "Vernica Carey Li", ""}},
 		{RID: 3, Fields: []string{"An Entirely Different Publication About Compilers", "Someone Else", ""}},
 	}
-	pairs, err := fuzzyjoin.SelfJoinRecords(pubs, fuzzyjoin.Config{})
+	res, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{Records: pubs})
 	if err != nil {
 		panic(err)
 	}
-	for _, p := range pairs {
+	for _, p := range res.Joined {
 		fmt.Printf("%d ~ %d (sim %.2f)\n", p.Left.RID, p.Right.RID, p.Sim)
 	}
 	// Output:
 	// 1 ~ 2 (sim 1.00)
 }
 
-// R-S joins tag each record with its relation; the left record of every
-// output pair is from R (pass the smaller relation as R — it builds the
-// token dictionary).
-func ExampleRSJoinRecords() {
+// Setting RecordsS makes the join R-S; the left record of every output
+// pair is from R (pass the smaller relation as R — it builds the token
+// dictionary).
+func ExampleJoin_rs() {
 	r := []fuzzyjoin.Record{
 		{RID: 1, Fields: []string{"A Comparison of Approaches to Large-Scale Data Analysis", "Pavlo et al", ""}},
 	}
@@ -36,20 +38,21 @@ func ExampleRSJoinRecords() {
 		{RID: 7, Fields: []string{"Comparison of Approaches to Large Scale Data Analysis", "Pavlo et al", ""}},
 		{RID: 8, Fields: []string{"Unrelated", "Nobody", ""}},
 	}
-	pairs, err := fuzzyjoin.RSJoinRecords(r, s, fuzzyjoin.Config{})
+	res, err := fuzzyjoin.Join(context.Background(),
+		fuzzyjoin.JoinSpec{Records: r, RecordsS: s})
 	if err != nil {
 		panic(err)
 	}
-	for _, p := range pairs {
+	for _, p := range res.Joined {
 		fmt.Printf("R[%d] ~ S[%d]\n", p.Left.RID, p.Right.RID)
 	}
 	// Output:
 	// R[1] ~ S[7]
 }
 
-// Stage algorithms are selected per stage; BTO-PK-OPRJ is the fastest
-// combination the paper measured.
-func ExampleSelfJoin() {
+// File-mode joins run over DFS files and select per-stage algorithms;
+// BTO-PK-OPRJ is the fastest combination the paper measured.
+func ExampleJoin_fileMode() {
 	fs := fuzzyjoin.NewFS(4)
 	recs := []fuzzyjoin.Record{
 		{RID: 1, Fields: []string{"parallel set similarity joins", "a b", ""}},
@@ -58,17 +61,46 @@ func ExampleSelfJoin() {
 	if err := fuzzyjoin.WriteRecords(fs, "in", recs); err != nil {
 		panic(err)
 	}
-	res, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{
-		FS:         fs,
-		Work:       "job",
-		TokenOrder: fuzzyjoin.BTO,
-		Kernel:     fuzzyjoin.PK,
-		RecordJoin: fuzzyjoin.OPRJ,
-	}, "in")
+	res, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{
+		Config: fuzzyjoin.Config{
+			FS:         fs,
+			Work:       "job",
+			TokenOrder: fuzzyjoin.BTO,
+			Kernel:     fuzzyjoin.PK,
+			RecordJoin: fuzzyjoin.OPRJ,
+		},
+		Input: "in",
+	})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("pairs:", res.Pairs)
 	// Output:
 	// pairs: 1
+}
+
+// NewIndex answers the same question online: Match returns every
+// indexed record similar to the probe, and Add ingests new records
+// incrementally without rebuilding the index.
+func ExampleNewIndex() {
+	ctx := context.Background()
+	ix, err := fuzzyjoin.NewIndex(ctx, fuzzyjoin.WithCorpus([]fuzzyjoin.Record{
+		{RID: 1, Fields: []string{"Efficient Parallel Set-Similarity Joins Using MapReduce", "Vernica Carey Li", ""}},
+		{RID: 2, Fields: []string{"An Entirely Different Publication About Compilers", "Someone Else", ""}},
+	}))
+	if err != nil {
+		panic(err)
+	}
+	defer ix.Close()
+
+	probe := fuzzyjoin.Record{RID: 99, Fields: []string{"Efficient Parallel Set Similarity Joins using MapReduce", "Vernica Carey Li", ""}}
+	pairs, err := ix.Match(ctx, probe)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range pairs {
+		fmt.Printf("indexed %d matches probe (sim %.2f)\n", p.Left.RID, p.Sim)
+	}
+	// Output:
+	// indexed 1 matches probe (sim 1.00)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,14 +38,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := fuzzyjoin.RSJoin(fuzzyjoin.Config{
-		FS:          fs,
-		Work:        "bibjoin",
-		Kernel:      fuzzyjoin.PK,
-		RecordJoin:  fuzzyjoin.BRJ, // the robust choice for large R-S joins (§6.2.3)
-		NumReducers: 8,
-		Parallelism: 4,
-	}, "dblp", "cite")
+	res, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{
+		Config: fuzzyjoin.Config{
+			FS:          fs,
+			Work:        "bibjoin",
+			Kernel:      fuzzyjoin.PK,
+			RecordJoin:  fuzzyjoin.BRJ, // the robust choice for large R-S joins (§6.2.3)
+			NumReducers: 8,
+			Parallelism: 4,
+		},
+		Input:  "dblp",
+		InputS: "cite",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -29,13 +30,16 @@ func main() {
 	if err := fuzzyjoin.WriteRecords(fs, "bib", recs); err != nil {
 		log.Fatal(err)
 	}
-	res, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{
-		FS:          fs,
-		Work:        "dedup",
-		Kernel:      fuzzyjoin.PK, // the kernel the paper recommends
-		NumReducers: 8,
-		Parallelism: 4,
-	}, "bib")
+	res, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{
+		Config: fuzzyjoin.Config{
+			FS:          fs,
+			Work:        "dedup",
+			Kernel:      fuzzyjoin.PK, // the kernel the paper recommends
+			NumReducers: 8,
+			Parallelism: 4,
+		},
+		Input: "bib",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -38,7 +39,8 @@ func main() {
 		mode.MemoryLimit = budget
 		mode.NumReducers = 4
 		mode.Parallelism = 4
-		res, err := fuzzyjoin.SelfJoin(mode, "in")
+		res, err := fuzzyjoin.Join(context.Background(),
+			fuzzyjoin.JoinSpec{Config: mode, Input: "in"})
 		switch {
 		case errors.Is(err, mapreduce.ErrInsufficientMemory):
 			fmt.Printf("%-22s → out of memory (as §5 predicts): %v\n", label, err)

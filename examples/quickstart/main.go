@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,11 @@ func main() {
 		rec(6, "Bigtable: A Distributed Storage System for Structured Data", "Chang Dean Ghemawat"),
 	}
 
-	pairs, err := fuzzyjoin.SelfJoinRecords(pubs, fuzzyjoin.Config{})
+	res, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{Records: pubs})
 	if err != nil {
 		log.Fatal(err)
 	}
+	pairs := res.Joined
 
 	fmt.Printf("%d near-duplicate pairs at Jaccard >= 0.80:\n\n", len(pairs))
 	for _, p := range pairs {
@@ -38,16 +40,19 @@ func main() {
 
 	// The same join at a looser threshold with the cosine function,
 	// running the fastest combination the paper measured (BTO-PK-OPRJ).
-	loose, err := fuzzyjoin.SelfJoinRecords(pubs, fuzzyjoin.Config{
-		Fn:         fuzzyjoin.Cosine,
-		Threshold:  0.6,
-		Kernel:     fuzzyjoin.PK,
-		RecordJoin: fuzzyjoin.OPRJ,
+	loose, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{
+		Config: fuzzyjoin.Config{
+			Fn:         fuzzyjoin.Cosine,
+			Threshold:  0.6,
+			Kernel:     fuzzyjoin.PK,
+			RecordJoin: fuzzyjoin.OPRJ,
+		},
+		Records: pubs,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cosine >= 0.60 finds %d pairs\n", len(loose))
+	fmt.Printf("cosine >= 0.60 finds %d pairs\n", len(loose.Joined))
 }
 
 func rec(rid uint64, title, authors string) fuzzyjoin.Record {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -54,16 +55,19 @@ func main() {
 	if err := fuzzyjoin.WriteRecords(fs, "users", recs); err != nil {
 		log.Fatal(err)
 	}
-	res, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{
-		FS:   fs,
-		Work: "rec",
-		// Join on the interests field alone.
-		JoinFields:  []int{fuzzyjoin.FieldTitle},
-		Threshold:   0.8,
-		Kernel:      fuzzyjoin.PK,
-		NumReducers: 8,
-		Parallelism: 4,
-	}, "users")
+	res, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{
+		Config: fuzzyjoin.Config{
+			FS:   fs,
+			Work: "rec",
+			// Join on the interests field alone.
+			JoinFields:  []int{fuzzyjoin.FieldTitle},
+			Threshold:   0.8,
+			Kernel:      fuzzyjoin.PK,
+			NumReducers: 8,
+			Parallelism: 4,
+		},
+		Input: "users",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

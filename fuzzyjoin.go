@@ -3,35 +3,63 @@
 // MapReduce" (Vernica, Carey, Li — SIGMOD 2010), named after the authors'
 // released system.
 //
-// The library answers self-join and R-S join queries end-to-end: given
-// files of complete records it produces complete pairs of records whose
-// join attributes are set-similar (Jaccard, cosine, or dice) at or above
-// a threshold. Processing runs as three MapReduce stages on the bundled
-// runtime (see internal/mapreduce): token ordering (BTO/OPTO), RID-pair
-// generation with prefix filtering (BK/PK kernels), and record join
-// (BRJ/OPRJ), with §5 block-processing strategies for reduce groups that
-// exceed memory.
+// The library answers set-similarity workloads in two shapes:
+//
+//   - Batch joins — Join runs the paper's three-stage MapReduce pipeline
+//     (token ordering BTO/OPTO, RID-pair generation with prefix filtering
+//     BK/PK, record join BRJ/OPRJ, plus the §5 block-processing
+//     strategies) over record files or in-memory slices, self-join or
+//     R-S join.
+//   - Online queries — NewIndex builds a persistent concurrent prefix
+//     index (the pipeline's Stage-1 token order + Stage-2 filters in
+//     long-lived form) that answers Match(record) lookups at high QPS
+//     and ingests new records incrementally.
 //
 // # Quick start
 //
+// One batch self-join over in-memory records:
+//
+//	res, err := fuzzyjoin.Join(ctx, fuzzyjoin.JoinSpec{Records: recs})
+//	if err != nil { ... }
+//	for _, p := range res.Joined { ... }
+//
+// The same join over DFS files:
+//
 //	fs := fuzzyjoin.NewFS(4)
 //	fuzzyjoin.WriteRecords(fs, "pubs", recs)
-//	res, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{FS: fs, Work: "job1"}, "pubs")
-//	if err != nil { ... }
+//	res, err := fuzzyjoin.Join(ctx, fuzzyjoin.JoinSpec{
+//		Config: fuzzyjoin.Config{FS: fs, Work: "job1"},
+//		Input:  "pubs",
+//	})
 //	pairs, err := fuzzyjoin.ReadJoinedPairs(fs, res.Output)
 //
-// Or, for small in-memory workloads, skip the file system entirely:
+// Online queries against a growing corpus:
 //
-//	pairs, err := fuzzyjoin.SelfJoinRecords(recs, fuzzyjoin.Config{})
+//	ix, err := fuzzyjoin.NewIndex(ctx, fuzzyjoin.WithCorpus(recs))
+//	defer ix.Close()
+//	similar, err := ix.Match(ctx, probe)
+//	err = ix.Add(newRecord) // visible to the next Match
 //
 // The zero Config runs the paper's recommended configuration: word
 // tokens over title+authors, Jaccard at τ = 0.80, BTO-BK-BRJ with the
 // full PPJoin+ filter stack. Set Kernel: fuzzyjoin.PK and RecordJoin:
 // fuzzyjoin.OPRJ for the fastest combination the paper measured
 // (BTO-PK-OPRJ), or keep BRJ for the most scalable one (BTO-PK-BRJ).
+//
+// Joins and queries are cancellable: cancel the ctx and the call
+// returns an error matching ErrCanceled at the next task boundary.
+//
+// # Deprecation policy
+//
+// Superseded APIs are kept as thin wrappers for one major growth cycle,
+// marked with standard "Deprecated:" comments naming the replacement
+// (so staticcheck flags remaining callers), then deleted. SelfJoin,
+// RSJoin, SelfJoinRecords, and RSJoinRecords are in that state now —
+// new code should call Join.
 package fuzzyjoin
 
 import (
+	"context"
 	"fmt"
 
 	"fuzzyjoin/internal/core"
@@ -40,6 +68,7 @@ import (
 	"fuzzyjoin/internal/mapreduce"
 	"fuzzyjoin/internal/records"
 	"fuzzyjoin/internal/simfn"
+	"fuzzyjoin/internal/ssjserve"
 )
 
 // Core configuration and result types.
@@ -165,16 +194,6 @@ func NewFS(nodes int, opts ...FSOption) *FS {
 	return dfs.New(o)
 }
 
-// NewReplicatedFS creates a distributed file system storing `replication`
-// copies of every block on distinct nodes, with automatic re-replication
-// after a node failure.
-//
-// Deprecated: Use NewFS with the Replication and AutoReReplicate
-// options instead.
-func NewReplicatedFS(nodes, replication int) *FS {
-	return NewFS(nodes, Replication(replication), AutoReReplicate(true))
-}
-
 // WriteRecords stores records as a Text-format DFS file joins can read.
 func WriteRecords(fs *FS, name string, recs []Record) error {
 	lines := make([]string, len(recs))
@@ -204,60 +223,243 @@ func ReadJoinedPairs(fs *FS, outputPrefix string) ([]JoinedPair, error) {
 	return out, nil
 }
 
-// SelfJoin joins a record file with itself; see core.SelfJoin.
+// ErrCanceled is the typed error every canceled execution wraps — batch
+// joins whose ctx is canceled mid-pipeline, distributed dispatches
+// abandoned mid-flight, and online queries canceled in the pool. Test
+// with errors.Is(err, fuzzyjoin.ErrCanceled).
+var ErrCanceled = mapreduce.ErrCanceled
+
+// JoinSpec describes one batch join. Exactly one input mode is used:
+//
+//   - File mode: Input (and InputS for an R-S join) name Text-format
+//     DFS files under Config.FS; results land in DFS part files at
+//     Result.Output (read them with ReadJoinedPairs).
+//   - In-memory mode: Records (and RecordsS) hold the corpus directly;
+//     the join provisions a private single-node FS — Config.FS and
+//     Config.Work must be unset — and parsed pairs are returned on
+//     Result.Joined.
+//
+// Setting InputS or RecordsS makes the join an R-S join (§4): the token
+// dictionary is built from the R side, so pass the smaller relation as
+// Input/Records. Otherwise the input is self-joined.
+type JoinSpec struct {
+	// Config tunes the pipeline (algorithms, threshold, fault
+	// tolerance, tracing, distributed execution); the zero value is the
+	// paper's recommended configuration.
+	Config Config
+	// Input and InputS are the file-mode inputs.
+	Input  string
+	InputS string
+	// Records and RecordsS are the in-memory-mode inputs.
+	Records  []Record
+	RecordsS []Record
+}
+
+// Join runs one batch set-similarity join to completion. Canceling ctx
+// stops the pipeline at the next task boundary, cleans up its partial
+// output, and returns an error wrapping ErrCanceled.
+func Join(ctx context.Context, spec JoinSpec) (*Result, error) {
+	cfg := spec.Config
+	fileMode := spec.Input != "" || spec.InputS != ""
+	memMode := spec.Records != nil || spec.RecordsS != nil
+	switch {
+	case fileMode && memMode:
+		return nil, fmt.Errorf("fuzzyjoin: JoinSpec mixes file inputs (%q) and in-memory records; use one mode", spec.Input)
+	case !fileMode && !memMode:
+		return nil, fmt.Errorf("fuzzyjoin: empty JoinSpec: set Input or Records")
+	}
+
+	if fileMode {
+		if spec.Input == "" {
+			return nil, fmt.Errorf("fuzzyjoin: JoinSpec.InputS set without Input (the R side)")
+		}
+		if spec.InputS != "" {
+			return core.RSJoinContext(ctx, cfg, spec.Input, spec.InputS)
+		}
+		return core.SelfJoinContext(ctx, cfg, spec.Input)
+	}
+
+	if spec.Records == nil {
+		return nil, fmt.Errorf("fuzzyjoin: JoinSpec.RecordsS set without Records (the R side)")
+	}
+	if cfg.FS != nil || cfg.Work != "" {
+		return nil, fmt.Errorf("fuzzyjoin: in-memory joins manage FS and Work; leave them unset")
+	}
+	fs := NewFS(1)
+	if err := WriteRecords(fs, "r", spec.Records); err != nil {
+		return nil, err
+	}
+	cfg.FS, cfg.Work = fs, "work"
+	var (
+		res *Result
+		err error
+	)
+	if spec.RecordsS != nil {
+		if err := WriteRecords(fs, "s", spec.RecordsS); err != nil {
+			return nil, err
+		}
+		res, err = core.RSJoinContext(ctx, cfg, "r", "s")
+	} else {
+		res, err = core.SelfJoinContext(ctx, cfg, "r")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Joined, err = ReadJoinedPairs(fs, res.Output); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SelfJoin joins a record file with itself.
+//
+// Deprecated: Use Join with JoinSpec.Input.
 func SelfJoin(cfg Config, input string) (*Result, error) {
-	return core.SelfJoin(cfg, input)
+	return Join(context.Background(), JoinSpec{Config: cfg, Input: input})
 }
 
 // RSJoin joins two record files; inputR should be the smaller relation
-// (Stage 1 builds the token dictionary from it). See core.RSJoin.
+// (Stage 1 builds the token dictionary from it).
+//
+// Deprecated: Use Join with JoinSpec.Input and JoinSpec.InputS.
 func RSJoin(cfg Config, inputR, inputS string) (*Result, error) {
-	return core.RSJoin(cfg, inputR, inputS)
+	return Join(context.Background(), JoinSpec{Config: cfg, Input: inputR, InputS: inputS})
 }
 
-// SelfJoinRecords is the in-memory convenience wrapper: it provisions a
-// single-node FS, runs the full pipeline, and returns the joined pairs.
-// cfg.FS and cfg.Work are managed by the wrapper and must be unset.
+// SelfJoinRecords joins in-memory records with themselves.
+//
+// Deprecated: Use Join with JoinSpec.Records; pairs are returned on
+// Result.Joined.
 func SelfJoinRecords(recs []Record, cfg Config) ([]JoinedPair, error) {
-	fs, err := stageRecords(cfg, "r", recs)
+	res, err := Join(context.Background(), JoinSpec{Config: cfg, Records: recs})
 	if err != nil {
 		return nil, err
 	}
-	cfg.FS, cfg.Work = fs, "work"
-	res, err := core.SelfJoin(cfg, "r")
-	if err != nil {
-		return nil, err
-	}
-	return ReadJoinedPairs(fs, res.Output)
+	return res.Joined, nil
 }
 
-// RSJoinRecords is the in-memory convenience wrapper for R-S joins.
+// RSJoinRecords joins two in-memory relations.
+//
+// Deprecated: Use Join with JoinSpec.Records and JoinSpec.RecordsS;
+// pairs are returned on Result.Joined.
 func RSJoinRecords(r, s []Record, cfg Config) ([]JoinedPair, error) {
-	fs, err := stageRecords(cfg, "r", r)
+	res, err := Join(context.Background(), JoinSpec{Config: cfg, Records: r, RecordsS: s})
 	if err != nil {
 		return nil, err
 	}
-	if err := WriteRecords(fs, "s", s); err != nil {
-		return nil, err
-	}
-	cfg.FS, cfg.Work = fs, "work"
-	res, err := core.RSJoin(cfg, "r", "s")
-	if err != nil {
-		return nil, err
-	}
-	return ReadJoinedPairs(fs, res.Output)
+	return res.Joined, nil
 }
 
-func stageRecords(cfg Config, name string, recs []Record) (*FS, error) {
-	if cfg.FS != nil || cfg.Work != "" {
-		return nil, fmt.Errorf("fuzzyjoin: the Records wrappers manage FS and Work; leave them unset")
+// IndexStats is the online index's metrics snapshot: corpus shape,
+// query/ingest counters, cache hit rates, and QPS/p50/p99.
+type IndexStats = ssjserve.Stats
+
+// indexConfig collects the functional options of NewIndex.
+type indexConfig struct {
+	corpus []Record
+	opts   ssjserve.Options
+}
+
+// IndexOption customizes an Index created by NewIndex.
+type IndexOption func(*indexConfig)
+
+// WithCorpus seeds the index with an initial batch-built corpus.
+// Without it the index starts empty and grows through Add.
+func WithCorpus(recs []Record) IndexOption {
+	return func(c *indexConfig) { c.corpus = recs }
+}
+
+// WithThreshold sets the similarity threshold τ (default 0.80).
+func WithThreshold(tau float64) IndexOption {
+	return func(c *indexConfig) { c.opts.Threshold = tau }
+}
+
+// WithSimilarity selects the similarity function (default Jaccard).
+func WithSimilarity(fn simfn.Func) IndexOption {
+	return func(c *indexConfig) { c.opts.Fn = fn }
+}
+
+// WithJoinFields selects the record fields concatenated into the join
+// attribute (default title + authors).
+func WithJoinFields(fields ...int) IndexOption {
+	return func(c *indexConfig) { c.opts.JoinFields = fields }
+}
+
+// WithShards sets the index shard count (default 8): the token space is
+// partitioned across shards, one lock each, so probe and ingest traffic
+// on different tokens never contend.
+func WithShards(n int) IndexOption {
+	return func(c *indexConfig) { c.opts.Shards = n }
+}
+
+// WithWorkers sets the query worker-pool size (default GOMAXPROCS).
+func WithWorkers(n int) IndexOption {
+	return func(c *indexConfig) { c.opts.Workers = n }
+}
+
+// WithDriftThreshold sets the lazy re-order trigger: the fraction of
+// incrementally added records (relative to the corpus at the last
+// build) that forces a fresh Stage-1 token ordering (default 0.25).
+func WithDriftThreshold(f float64) IndexOption {
+	return func(c *indexConfig) { c.opts.DriftThreshold = f }
+}
+
+// WithCacheSize sets the verification-cache capacity in cached pair
+// verdicts (default 4096; negative disables caching).
+func WithCacheSize(n int) IndexOption {
+	return func(c *indexConfig) { c.opts.CacheSize = n }
+}
+
+// Index is a persistent, concurrent similarity index — the online
+// counterpart to Join. Queries and ingestion are safe to run
+// concurrently from any number of goroutines; see internal/ssjserve for
+// the sharding, drift re-ordering, and caching design.
+type Index struct {
+	svc *ssjserve.Service
+}
+
+// NewIndex builds an online similarity index. The initial corpus (if
+// any) is indexed synchronously before NewIndex returns; ctx cancels
+// that build.
+func NewIndex(ctx context.Context, opts ...IndexOption) (*Index, error) {
+	var c indexConfig
+	for _, opt := range opts {
+		opt(&c)
 	}
-	fs := NewFS(1)
-	if err := WriteRecords(fs, name, recs); err != nil {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	svc, err := ssjserve.NewService(c.opts, c.corpus)
+	if err != nil {
 		return nil, err
 	}
-	return fs, nil
+	return &Index{svc: svc}, nil
 }
+
+// Match returns every indexed record similar to probe (sim ≥ τ) as
+// JoinedPairs with the indexed record on the left. Probing with an
+// already-indexed record returns its neighbors, not itself. Canceling
+// ctx abandons the query with an error wrapping ErrCanceled.
+func (ix *Index) Match(ctx context.Context, probe Record) ([]JoinedPair, error) {
+	return ix.svc.Match(ctx, probe)
+}
+
+// MatchBatch answers a batch of probes through one admission (answers
+// aligned with probes).
+func (ix *Index) MatchBatch(ctx context.Context, probes []Record) ([][]JoinedPair, error) {
+	return ix.svc.MatchBatch(ctx, probes)
+}
+
+// Add ingests one record incrementally; it is visible to the next
+// Match. No Stage-1 rebuild runs unless token-frequency drift crosses
+// the configured threshold.
+func (ix *Index) Add(rec Record) error { return ix.svc.Add(rec) }
+
+// Stats snapshots the index metrics.
+func (ix *Index) Stats() IndexStats { return ix.svc.Stats() }
+
+// Close stops the query workers; subsequent calls fail.
+func (ix *Index) Close() error { return ix.svc.Close() }
 
 // Edit-distance joins (the application the paper's footnote 1 points at).
 type (

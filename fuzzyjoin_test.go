@@ -1,11 +1,26 @@
 package fuzzyjoin_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"fuzzyjoin"
 )
+
+// cancelInjector cancels the join's context from inside a task attempt,
+// simulating an operator killing a long join mid-flight.
+type cancelInjector struct{ cancel context.CancelFunc }
+
+func (c cancelInjector) AttemptFault(fuzzyjoin.TaskRef) error {
+	c.cancel()
+	return nil
+}
+
+func errorsIsCanceled(err error) bool {
+	return errors.Is(err, fuzzyjoin.ErrCanceled)
+}
 
 func pubs() []fuzzyjoin.Record {
 	mk := func(rid uint64, title, authors string) fuzzyjoin.Record {
@@ -20,11 +35,12 @@ func pubs() []fuzzyjoin.Record {
 	}
 }
 
-func TestSelfJoinRecords(t *testing.T) {
-	pairs, err := fuzzyjoin.SelfJoinRecords(pubs(), fuzzyjoin.Config{})
+func TestJoinRecords(t *testing.T) {
+	res, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{Records: pubs()})
 	if err != nil {
 		t.Fatal(err)
 	}
+	pairs := res.Joined
 	if len(pairs) != 2 {
 		t.Fatalf("pairs = %d, want 2 (the two near-duplicate clusters): %v", len(pairs), pairs)
 	}
@@ -38,27 +54,30 @@ func TestSelfJoinRecords(t *testing.T) {
 	}
 }
 
-func TestSelfJoinRecordsFastCombo(t *testing.T) {
+func TestJoinRecordsFastCombo(t *testing.T) {
 	cfg := fuzzyjoin.Config{Kernel: fuzzyjoin.PK, RecordJoin: fuzzyjoin.OPRJ, TokenOrder: fuzzyjoin.OPTO}
-	pairs, err := fuzzyjoin.SelfJoinRecords(pubs(), cfg)
+	res, err := fuzzyjoin.Join(context.Background(),
+		fuzzyjoin.JoinSpec{Config: cfg, Records: pubs()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pairs) != 2 {
-		t.Fatalf("pairs = %d, want 2", len(pairs))
+	if len(res.Joined) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(res.Joined))
 	}
 }
 
-func TestRSJoinRecords(t *testing.T) {
+func TestJoinRecordsRS(t *testing.T) {
 	r := pubs()[:3]
 	s := pubs()[2:]
 	for i := range s {
 		s[i].RID += 100
 	}
-	pairs, err := fuzzyjoin.RSJoinRecords(r, s, fuzzyjoin.Config{})
+	res, err := fuzzyjoin.Join(context.Background(),
+		fuzzyjoin.JoinSpec{Records: r, RecordsS: s})
 	if err != nil {
 		t.Fatal(err)
 	}
+	pairs := res.Joined
 	// R record 3 ("A Comparison of...") matches S records 103 and 104.
 	if len(pairs) != 2 {
 		t.Fatalf("pairs = %d, want 2: %v", len(pairs), pairs)
@@ -70,14 +89,20 @@ func TestRSJoinRecords(t *testing.T) {
 	}
 }
 
-func TestFileBasedAPI(t *testing.T) {
+func TestJoinFileMode(t *testing.T) {
 	fs := fuzzyjoin.NewFS(4)
 	if err := fuzzyjoin.WriteRecords(fs, "pubs", pubs()); err != nil {
 		t.Fatal(err)
 	}
-	res, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{FS: fs, Work: "job1"}, "pubs")
+	res, err := fuzzyjoin.Join(context.Background(), fuzzyjoin.JoinSpec{
+		Config: fuzzyjoin.Config{FS: fs, Work: "job1"},
+		Input:  "pubs",
+	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res.Joined != nil {
+		t.Fatal("file-mode join filled Result.Joined; output belongs in the DFS part files")
 	}
 	pairs, err := fuzzyjoin.ReadJoinedPairs(fs, res.Output)
 	if err != nil {
@@ -91,10 +116,53 @@ func TestFileBasedAPI(t *testing.T) {
 	}
 }
 
-func TestRecordsWrappersRejectManagedFields(t *testing.T) {
-	if _, err := fuzzyjoin.SelfJoinRecords(pubs(), fuzzyjoin.Config{Work: "x"}); err == nil ||
-		!strings.Contains(err.Error(), "leave them unset") {
-		t.Fatalf("err = %v", err)
+func TestJoinSpecValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		spec fuzzyjoin.JoinSpec
+		want string
+	}{
+		{"empty", fuzzyjoin.JoinSpec{}, "set Input or Records"},
+		{"mixed modes", fuzzyjoin.JoinSpec{Input: "r", Records: pubs()}, "use one mode"},
+		{"S without R file", fuzzyjoin.JoinSpec{InputS: "s"}, "without Input"},
+		{"S without R records", fuzzyjoin.JoinSpec{RecordsS: pubs()}, "without Records"},
+		{"managed FS", fuzzyjoin.JoinSpec{
+			Config:  fuzzyjoin.Config{Work: "x"},
+			Records: pubs(),
+		}, "leave them unset"},
+	}
+	for _, tc := range cases {
+		if _, err := fuzzyjoin.Join(ctx, tc.spec); err == nil ||
+			!strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestJoinCancel kills an in-memory join mid-flight: the injected fault
+// cancels the context from inside a map task, and the pipeline must
+// surface ErrCanceled instead of burning its retry budget.
+func TestJoinCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := fuzzyjoin.Join(ctx, fuzzyjoin.JoinSpec{
+		Config: fuzzyjoin.Config{
+			Retry:         fuzzyjoin.RetryPolicy{MaxAttempts: 5},
+			FaultInjector: cancelInjector{cancel: cancel},
+		},
+		Records: pubs(),
+	})
+	if !errorsIsCanceled(err) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestJoinPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fuzzyjoin.Join(ctx, fuzzyjoin.JoinSpec{Records: pubs()}); !errorsIsCanceled(err) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 }
 

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -236,6 +237,21 @@ type Config struct {
 	// serializable Config (stock tokenizer); output stays byte-identical
 	// to in-process execution.
 	Runner mapreduce.TaskRunner
+
+	// ctx is the cancellation context the *Context entry points install;
+	// every job the pipeline runs executes under it. Plumbing, not
+	// configuration — external callers cancel through SelfJoinContext /
+	// RSJoinContext (or the fuzzyjoin facade), never by setting this.
+	ctx context.Context
+}
+
+// context returns the pipeline's cancellation context (context.Background
+// when the join was started through a non-Context entry point).
+func (c *Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // fillDefaults validates the Config (see Validate) and then replaces
@@ -297,6 +313,12 @@ type Result struct {
 	// Trace is the collected trace when Config.Trace was set (nil
 	// otherwise).
 	Trace *trace.Trace `json:"-"`
+	// Joined holds the parsed output pairs for joins run through the
+	// facade's in-memory mode (fuzzyjoin.Join over JoinSpec.Records);
+	// nil for file-mode joins, whose output stays in the DFS part files
+	// under Output. Excluded from the metrics document — it is data,
+	// not metrics.
+	Joined []records.JoinedPair `json:"-"`
 }
 
 // Combo renders the algorithm combination the way the paper does, e.g.

@@ -1,12 +1,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"fuzzyjoin/internal/mapreduce"
 	"fuzzyjoin/internal/trace"
 )
+
+// SelfJoinContext is SelfJoin with cancellation: every MapReduce job the
+// pipeline runs executes under ctx, so canceling it stops the join at
+// the next task boundary with an error wrapping mapreduce.ErrCanceled.
+func SelfJoinContext(ctx context.Context, cfg Config, input string) (*Result, error) {
+	cfg.ctx = ctx
+	return SelfJoin(cfg, input)
+}
+
+// RSJoinContext is RSJoin with cancellation (see SelfJoinContext).
+func RSJoinContext(ctx context.Context, cfg Config, inputR, inputS string) (*Result, error) {
+	cfg.ctx = ctx
+	return RSJoin(cfg, inputR, inputS)
+}
 
 // traceFlow emits a flow-level marker (FlowStart/FlowEnd) when tracing.
 func traceFlow(cfg *Config, typ trace.EventType, flow string, detail string) {

@@ -198,7 +198,7 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 	job.InputFormat = mapreduce.Text
 	job.Output = kernelOut
 	job.SideFiles = []string{tokenFile}
-	m2, err := mapreduce.Run(job)
+	m2, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return nil, fmt.Errorf("carry-records kernel: %w", err)
 	}
@@ -214,7 +214,7 @@ func SingleStageSelfJoin(cfg Config, input string) (*Result, error) {
 	job.InputFormat = mapreduce.Pairs
 	job.Output = out
 	job.OutputFormat = mapreduce.Text
-	m3, err := mapreduce.Run(job)
+	m3, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return nil, fmt.Errorf("dedup: %w", err)
 	}

@@ -94,7 +94,7 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 	job.Inputs = []string{input}
 	job.InputFormat = mapreduce.Text
 	job.Output = countOut
-	m1, err := mapreduce.Run(job)
+	m1, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}
@@ -109,7 +109,7 @@ func runBTO(cfg *Config, input string, work string) (tokenFile string, ms []*map
 	job.Output = sortOut
 	job.OutputFormat = mapreduce.Text
 	job.NumReducers = 1 // total order requires exactly one reducer (§3.1.1)
-	m2, err := mapreduce.Run(job)
+	m2, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}
@@ -182,7 +182,7 @@ func runOPTO(cfg *Config, input string, work string) (tokenFile string, ms []*ma
 	job.Output = out
 	job.OutputFormat = mapreduce.Text
 	job.NumReducers = 1
-	m, err := mapreduce.Run(job)
+	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}

@@ -376,7 +376,7 @@ func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapre
 	job.InputFormat = mapreduce.Text
 	job.Output = out
 	job.SideFiles = []string{tokenFile}
-	m, err := mapreduce.Run(job)
+	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}
@@ -401,7 +401,7 @@ func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, [
 	job.InputFormat = mapreduce.Text
 	job.Output = out
 	job.SideFiles = []string{tokenFile}
-	m, err := mapreduce.Run(job)
+	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}

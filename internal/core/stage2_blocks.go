@@ -409,7 +409,7 @@ func runStage2SelfBlocked(cfg *Config, input, tokenFile, work string) (string, [
 	job.InputFormat = mapreduce.Text
 	job.Output = out
 	job.SideFiles = []string{tokenFile}
-	m, err := mapreduce.Run(job)
+	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}

@@ -269,7 +269,7 @@ func runStage2RSBlocked(cfg *Config, inputR, inputS, tokenFile, work string) (st
 	job.InputFormat = mapreduce.Text
 	job.Output = out
 	job.SideFiles = []string{tokenFile}
-	m, err := mapreduce.Run(job)
+	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}

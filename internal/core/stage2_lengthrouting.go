@@ -161,7 +161,7 @@ func runStage2SelfLengthRouted(cfg *Config, input, tokenFile, work string) (stri
 	job.InputFormat = mapreduce.Text
 	job.Output = out
 	job.SideFiles = []string{tokenFile}
-	m, err := mapreduce.Run(job)
+	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}
@@ -288,7 +288,7 @@ func runStage2RSLengthRouted(cfg *Config, inputR, inputS, tokenFile, work string
 	job.InputFormat = mapreduce.Text
 	job.Output = out
 	job.SideFiles = []string{tokenFile}
-	m, err := mapreduce.Run(job)
+	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}

@@ -212,7 +212,7 @@ func runBRJ(cfg *Config, recordInputs []string, inputR string, rs bool, pairsPre
 		pairsPrefix + "/": mapreduce.Pairs,
 	}
 	job.Output = half
-	m1, err := mapreduce.Run(job)
+	m1, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}
@@ -226,7 +226,7 @@ func runBRJ(cfg *Config, recordInputs []string, inputR string, rs bool, pairsPre
 	job.InputFormat = mapreduce.Pairs
 	job.Output = out
 	job.OutputFormat = mapreduce.Text
-	m2, err := mapreduce.Run(job)
+	m2, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}
@@ -333,7 +333,7 @@ func runOPRJ(cfg *Config, recordInputs []string, inputR string, rs bool, pairsPr
 	job.Output = out
 	job.OutputFormat = mapreduce.Text
 	job.SideFiles = pairFiles
-	m, err := mapreduce.Run(job)
+	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}

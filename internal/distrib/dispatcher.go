@@ -115,10 +115,22 @@ func (r *Runner) dispatch(job *mapreduce.Job, phase mapreduce.Phase, taskID, att
 
 	fsid := r.coord.fsID(job.FS)
 	key := dispatchKey(job.Name, phase, taskID)
+	ctx := job.Context()
 	var lastErr error
 	for try := 1; try <= r.maxDispatch; try++ {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("%w: %v", mapreduce.ErrCanceled, err)
+		}
 		if d := r.dispatchRetry.Delay(key, try); d > 0 {
-			time.Sleep(d)
+			// Wake immediately if the job is canceled mid-backoff; a dead
+			// job must not hold its dispatch slot for a full retry delay.
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return 0, fmt.Errorf("%w: %v", mapreduce.ErrCanceled, ctx.Err())
+			}
 		}
 		w := r.coord.pickWorker()
 		if w == nil {

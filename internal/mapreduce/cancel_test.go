@@ -1,0 +1,96 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunContextPreCanceled: a job started under an already-canceled
+// context runs no tasks and reports ErrCanceled.
+func TestRunContextPreCanceled(t *testing.T) {
+	fs := newFS()
+	writeFaultInput(t, fs)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, faultJob(fs, "out"))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if names := fs.List("out/"); len(names) != 0 {
+		t.Fatalf("canceled job left output files: %v", names)
+	}
+}
+
+// TestRunContextCancelMidMap cancels from inside a map task: the job
+// must stop at the next task boundary, surface ErrCanceled, and clean
+// up its partial output — including shuffle intermediates.
+func TestRunContextCancelMidMap(t *testing.T) {
+	fs := newFS()
+	writeFaultInput(t, fs)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	job := faultJob(fs, "out")
+	job.FaultInjector = FaultFunc(func(ref TaskRef) error {
+		if ref.Phase == MapPhase && ref.TaskID == 0 {
+			cancel()
+		}
+		return nil
+	})
+	_, err := RunContext(ctx, job)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	for _, name := range fs.List("") {
+		if strings.HasPrefix(name, "out/") || strings.Contains(name, "_temporary") {
+			t.Fatalf("canceled job left %s behind", name)
+		}
+	}
+}
+
+// TestRunContextCancelSkipsRetryBudget: cancellation must not be
+// retried like an ordinary task fault — even with a generous retry
+// policy and backoff the job returns promptly.
+func TestRunContextCancelSkipsRetryBudget(t *testing.T) {
+	fs := newFS()
+	writeFaultInput(t, fs)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	job := faultJob(fs, "out")
+	job.Retry = RetryPolicy{MaxAttempts: 10, Backoff: time.Hour}
+	job.FaultInjector = FaultFunc(func(ref TaskRef) error {
+		cancel()
+		return errors.New("boom")
+	})
+	start := time.Now()
+	_, err := RunContext(ctx, job)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("canceled job took %v; retry backoff was not short-circuited", d)
+	}
+}
+
+// TestRunContextNilIsBackground: the plain Run path must behave exactly
+// as before the context plumbing landed.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	fs := newFS()
+	writeFaultInput(t, fs)
+	plain, err := Run(faultJob(fs, "plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := RunContext(context.Background(), faultJob(fs, "ctx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameStringMaps(outputBytes(t, fs, "plain"), outputBytes(t, fs, "ctx")) {
+		t.Fatal("RunContext(Background) output differs from Run")
+	}
+	if !sameStringMaps(plain.Counters, viaCtx.Counters) {
+		t.Fatal("counters differ between Run and RunContext(Background)")
+	}
+}

@@ -183,8 +183,19 @@ func runTaskAttempts[T any](job *Job, phase Phase, taskID int,
 	var attemptCosts []time.Duration
 	var lastErr error
 	for attempt := 1; attempt <= max; attempt++ {
+		if err := job.canceled(); err != nil {
+			return zero, TaskMetrics{}, err
+		}
 		if delay := job.Retry.backoffDelay(job.Name, phase, taskID, attempt); delay > 0 {
-			time.Sleep(delay)
+			// Sleep the backoff, but wake immediately on cancellation so a
+			// canceled job is not pinned behind a long retry delay.
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-job.Context().Done():
+				timer.Stop()
+				return zero, TaskMetrics{}, job.canceled()
+			}
 		}
 		if job.Trace.Enabled() {
 			job.Trace.Emit(trace.Event{Type: trace.AttemptStart, Job: job.Name,
@@ -224,7 +235,8 @@ func runTaskAttempts[T any](job *Job, phase Phase, taskID int,
 		// changes at job barriers, so re-reading cannot succeed. Fail the
 		// task (and so the job) immediately instead of burning retries —
 		// with replication 1 this is the clean whole-job failure path.
-		if errors.Is(err, dfs.ErrBlockUnavailable) {
+		// Cancellation likewise: retrying a canceled attempt cannot succeed.
+		if errors.Is(err, dfs.ErrBlockUnavailable) || errors.Is(err, ErrCanceled) {
 			return zero, TaskMetrics{}, fmt.Errorf("after %d attempt(s): %w", attempt, lastErr)
 		}
 	}

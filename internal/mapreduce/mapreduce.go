@@ -25,6 +25,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -267,6 +268,39 @@ type Job struct {
 	// Program can only run in-process.
 	Program     string
 	ProgramSpec string
+
+	// ctx is the cancellation context RunContext installs before
+	// execution starts. It is engine plumbing, not configuration: tasks
+	// and dispatchers read it through Context(), never set it.
+	ctx context.Context
+}
+
+// Context returns the job's cancellation context (context.Background
+// for jobs started through plain Run). TaskRunner implementations use
+// it to abandon dispatch loops when the job is canceled.
+func (j *Job) Context() context.Context {
+	if j.ctx == nil {
+		return context.Background()
+	}
+	return j.ctx
+}
+
+// ErrCanceled is the typed error every canceled execution surfaces
+// (wrapped): jobs whose RunContext context is canceled, distributed
+// dispatches abandoned mid-flight, and online-service queries canceled
+// while queued. Test with errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("mapreduce: canceled")
+
+// canceled reports the job's cancellation state as a typed error, nil
+// while the context is live.
+func (j *Job) canceled() error {
+	if j.ctx == nil {
+		return nil
+	}
+	if err := j.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return nil
 }
 
 // spillEmitter triggers a spill when the buffered pair count reaches the

@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -21,7 +22,22 @@ import (
 // and its part file is written under an attempt-suffixed temporary name,
 // renamed into place only on commit) so retried and fault-free runs
 // produce byte-identical output.
+//
+// Run is RunContext with a background context; it never cancels.
 func Run(job Job) (*Metrics, error) {
+	return RunContext(context.Background(), job)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled the job
+// stops at the next task boundary (before starting a task, before each
+// retry attempt, and at the phase barriers), cleans up its partial
+// output exactly like any other failure, and returns an error wrapping
+// ErrCanceled. Canceled attempts do not consume retry budget.
+func RunContext(ctx context.Context, job Job) (*Metrics, error) {
+	job.ctx = ctx
+	if err := job.canceled(); err != nil {
+		return nil, fmt.Errorf("job %s: %w", job.Name, err)
+	}
 	if err := job.fillDefaults(); err != nil {
 		return nil, err
 	}
@@ -74,6 +90,9 @@ func Run(job Job) (*Metrics, error) {
 		job.Trace.Emit(trace.Event{Type: trace.PhaseStart, Job: job.Name, Phase: trace.PhaseMap})
 	}
 	if err := runParallel(len(splits), job.Parallelism, func(i int) error {
+		if err := job.canceled(); err != nil {
+			return err
+		}
 		body := func(attempt int) (mapResult, TaskMetrics, error) {
 			return runMapTask(&job, i, attempt, splits[i], side)
 		}
@@ -114,11 +133,18 @@ func Run(job Job) (*Metrics, error) {
 	}
 
 	// ---- Reduce phase (shuffle + sort + reduce) ----
+	if err := job.canceled(); err != nil {
+		track.removeAll(job.FS)
+		return nil, fmt.Errorf("job %s: %w", job.Name, err)
+	}
 	metrics.ReduceTasks = make([]TaskMetrics, job.NumReducers)
 	if job.Trace.Enabled() {
 		job.Trace.Emit(trace.Event{Type: trace.PhaseStart, Job: job.Name, Phase: trace.PhaseReduce})
 	}
 	if err := runParallel(job.NumReducers, job.Parallelism, func(r int) error {
+		if err := job.canceled(); err != nil {
+			return err
+		}
 		var (
 			res reduceResult
 			tm  TaskMetrics

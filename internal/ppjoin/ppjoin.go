@@ -299,7 +299,22 @@ func (ix *Index) Probe(x Item, emit func(pair records.RIDPair)) {
 			emit(records.RIDPair{A: y.RID, B: x.RID, Sim: sim})
 		}
 	}
+
+	// Release outsized candidate scratch: the slice's capacity tracks the
+	// largest candidate set any probe ever produced, so without this cap a
+	// single pathological probe (one hot token shared with every indexed
+	// item) pins that worst-case allocation for the index's lifetime — a
+	// real leak for the long-lived online-service index, which reuses one
+	// Index across its whole uptime.
+	if cap(ix.cand) > maxCandScratch {
+		ix.cand = nil
+	}
 }
+
+// maxCandScratch bounds the probe candidate-scratch capacity retained
+// between probes (entries, i.e. 32 KiB of ints). Typical probes stay far
+// below it; a larger candidate set simply reallocates for that probe.
+const maxCandScratch = 1 << 12
 
 // ProbeAndAdd probes with x and then indexes it — the self-join streaming
 // step. Emitted pairs are normalized to A < B by RID (the self-join pair

@@ -1,0 +1,40 @@
+package ppjoin
+
+import (
+	"testing"
+
+	"fuzzyjoin/internal/records"
+)
+
+// TestProbeScratchReleased is the regression test for the candidate
+// scratch leak: one pathological probe (a hot token shared with every
+// indexed item) used to pin its worst-case candidate slice for the
+// index's lifetime. The long-lived service index reuses one Index
+// forever, so the scratch must be released once it exceeds the cap.
+func TestProbeScratchReleased(t *testing.T) {
+	const n = 3 * maxCandScratch
+	ix := NewIndex(Options{Threshold: 0.8})
+	// Every item shares prefix token 0 (rarest rank first), so the hot
+	// probe sees all n items as candidates.
+	for i := 0; i < n; i++ {
+		ix.Add(Item{RID: uint64(i + 1), Ranks: []uint32{0, uint32(i + 1)}})
+	}
+	hot := Item{RID: n + 1, Ranks: []uint32{0, n + 1}}
+	got := 0
+	ix.Probe(hot, func(records.RIDPair) { got++ })
+	if got != 0 {
+		// Jaccard({0,a},{0,b}) = 1/3 < 0.8: candidates all fail verify.
+		t.Fatalf("unexpected %d result pairs", got)
+	}
+	if c := cap(ix.cand); c > maxCandScratch {
+		t.Fatalf("probe scratch not released: cap(cand)=%d > %d", c, maxCandScratch)
+	}
+
+	// The next probe must still work (and a modest one keeps its scratch).
+	ix.Probe(hot, func(records.RIDPair) {})
+	small := Item{RID: n + 2, Ranks: []uint32{1, 2}}
+	ix.Probe(small, func(records.RIDPair) {})
+	if c := cap(ix.cand); c > maxCandScratch {
+		t.Fatalf("scratch regrew past cap without release: cap(cand)=%d", c)
+	}
+}

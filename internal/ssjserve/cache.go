@@ -1,0 +1,87 @@
+package ssjserve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// verdict is one cached verification result: the exact similarity and
+// whether it met the threshold. Negative verdicts are cached too — a
+// hot non-matching pair costs as much to re-verify as a matching one.
+type verdict struct {
+	sim float64
+	ok  bool
+}
+
+// verifyCache is a mutex-guarded LRU of pair verdicts. Admissibility is
+// structural: keys are the exact record-pair signature (generation,
+// candidate id, probe rank sequence — see pairKey), so a hit returns
+// precisely what a fresh verification would compute. Entries that a
+// re-order invalidates are not purged; their generation-stamped keys
+// can never be probed again and age out.
+type verifyCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	val verdict
+}
+
+// newVerifyCache returns a cache of the given capacity, or nil (no
+// caching) for negative capacities.
+func newVerifyCache(capacity int) *verifyCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = 4096
+	}
+	return &verifyCache{cap: capacity, ll: list.New(),
+		items: make(map[string]*list.Element, capacity)}
+}
+
+func (c *verifyCache) get(key string) (verdict, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return verdict{}, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *verifyCache) put(key string, v verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *verifyCache) counts() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

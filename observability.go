@@ -18,7 +18,10 @@ import (
 // byte-identical.
 //
 //	tr := fuzzyjoin.NewTracer()
-//	res, err := fuzzyjoin.SelfJoin(fuzzyjoin.Config{FS: fs, Work: "job1", Trace: tr}, "pubs")
+//	res, err := fuzzyjoin.Join(ctx, fuzzyjoin.JoinSpec{
+//		Config: fuzzyjoin.Config{FS: fs, Work: "job1", Trace: tr},
+//		Input:  "pubs",
+//	})
 //	res.Trace.WriteJSONL(f)                                  // machine-readable event log
 //	svg := fuzzyjoin.TimelineSVG("pubs self-join",
 //		fuzzyjoin.TimelineEvents(res, 4))                    // simulated-time Gantt

@@ -2,6 +2,7 @@ package fuzzyjoin_test
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -45,7 +46,8 @@ func runTraced(t *testing.T, trace bool) (string, *fuzzyjoin.Result) {
 	if trace {
 		cfg.Trace = fuzzyjoin.NewTracer()
 	}
-	res, err := fuzzyjoin.SelfJoin(cfg, "pubs")
+	res, err := fuzzyjoin.Join(context.Background(),
+		fuzzyjoin.JoinSpec{Config: cfg, Input: "pubs"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,15 +125,14 @@ func TestTracedNodeFailureAcceptance(t *testing.T) {
 	}
 }
 
-// TestNewFSOptions: the redesigned constructor matches the deprecated
-// one and defaults to single replication.
+// TestNewFSOptions: the options constructor defaults to single
+// replication and honors the Replication option.
 func TestNewFSOptions(t *testing.T) {
 	if got := fuzzyjoin.NewFS(4).Replication(); got != 1 {
 		t.Fatalf("default replication = %d, want 1", got)
 	}
 	opt := fuzzyjoin.NewFS(4, fuzzyjoin.Replication(3), fuzzyjoin.AutoReReplicate(true))
-	old := fuzzyjoin.NewReplicatedFS(4, 3)
-	if opt.Replication() != 3 || old.Replication() != 3 {
-		t.Fatalf("replication = %d / %d, want 3", opt.Replication(), old.Replication())
+	if opt.Replication() != 3 {
+		t.Fatalf("replication = %d, want 3", opt.Replication())
 	}
 }
