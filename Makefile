@@ -29,7 +29,8 @@ staticcheck:
 
 race:
 	$(GO) test -race ./internal/mapreduce/... ./internal/dfs/... \
-		./internal/distrib/... ./internal/backoff/... ./internal/ssjserve/...
+		./internal/distrib/... ./internal/backoff/... ./internal/ssjserve/... \
+		./internal/fvt/...
 
 tier1: build test vet staticcheck race
 
@@ -42,9 +43,10 @@ smoke:
 	@test -s smoke-out/trace.jsonl && test -s smoke-out/timeline.svg && test -s smoke-out/metrics.json
 	@echo "smoke artifacts in smoke-out/"
 
-# conformance sweeps the full pipeline-variant matrix (512 cells: stage
-# combos × self/R-S × routing × block processing × bitmap filter off/on
-# × plain/faulty/parallel/dist execution) against the exact oracle, then
+# conformance sweeps the full pipeline-variant matrix (768 cells: stage
+# combos × self/R-S × routing × block processing × FVT build path ×
+# bitmap filter off/on × plain/faulty/parallel/dist execution) against
+# the exact oracle, then
 # runs the metamorphic invariant suite, on a handful of seeded
 # workloads. Any divergence prints a minimized `ssjcheck` reproducer and
 # fails. The bare target covers the in-process modes; dist cells (forked
@@ -74,7 +76,7 @@ serve-smoke:
 conformance-dist:
 	$(GO) run ./cmd/ssjcheck -seed 1 -records 40 -exec dist -workers 2 -invariants=false
 	$(GO) run ./cmd/ssjcheck -seed 2 -records 40 -exec dist -workers 3 \
-		-chaos 0.4 -chaos-seed 7 -combo BTO-PK-BRJ,OPTO-BK-OPRJ -invariants=false
+		-chaos 0.4 -chaos-seed 7 -combo BTO-PK-BRJ,OPTO-BK-OPRJ,BTO-FVT-BRJ -invariants=false
 	@mkdir -p dist-out
 	$(GO) run ./cmd/fuzzyjoin -in testdata/pubs.tsv -workers 2 \
 		-trace -trace-out dist-out -out dist-out/pairs.txt
@@ -105,6 +107,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRun -fuzztime=$(FUZZTIME) ./internal/mapreduce
 	$(GO) test -run='^$$' -fuzz=FuzzVerifyExact -fuzztime=$(FUZZTIME) ./internal/simfn
 	$(GO) test -run='^$$' -fuzz=FuzzBitsigAdmissible -fuzztime=$(FUZZTIME) ./internal/bitsig
+	$(GO) test -run='^$$' -fuzz=FuzzFVTTraversal -fuzztime=$(FUZZTIME) ./internal/fvt
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -50,7 +50,8 @@ func main() {
 		tau    = flag.Float64("tau", 0.8, "similarity threshold")
 		fnName = flag.String("fn", "jaccard", "similarity function: jaccard, cosine, dice")
 		s1     = flag.String("stage1", "BTO", "token ordering: BTO or OPTO")
-		s2     = flag.String("stage2", "PK", "kernel: BK or PK")
+		s2     = flag.String("stage2", "PK", "kernel: BK, PK, or FVT")
+		kern   = flag.String("kernel", "", "alias for -stage2 (bk, pk, fvt; case-insensitive)")
 		s3     = flag.String("stage3", "BRJ", "record join: BRJ or OPRJ")
 		bitmap = flag.Bool("bitmap", false, "enable the bitmap-signature verification fast path (identical output, fewer verifications)")
 		red    = flag.Int("reducers", 8, "reduce tasks per job")
@@ -85,6 +86,9 @@ func main() {
 		*traceOut = "trace"
 	}
 
+	if *kern != "" {
+		*s2 = *kern
+	}
 	cfg, err := buildConfig(*tau, *fnName, *s1, *s2, *s3, *red, *par)
 	if err != nil {
 		fatal(err)
@@ -250,6 +254,8 @@ func buildConfig(tau float64, fnName, s1, s2, s3 string, reducers, par int) (fuz
 		cfg.Kernel = core.BK
 	case "PK":
 		cfg.Kernel = core.PK
+	case "FVT":
+		cfg.Kernel = core.FVT
 	default:
 		return cfg, fmt.Errorf("unknown stage2 algorithm %q", s2)
 	}

@@ -1,8 +1,8 @@
 // Command ssjcheck is the conformance harness CLI: it generates a
 // seeded randomized workload, sweeps every pipeline variant in the
 // configuration matrix (stage combos × join kind × routing × block
-// processing × bitmap filter × execution mode) against an exact
-// record-level oracle,
+// processing × FVT build path × bitmap filter × execution mode) against
+// an exact record-level oracle,
 // and checks the metamorphic invariant suite. Any divergence is
 // reported with a minimized reproducer — the exact ssjcheck command
 // line that re-creates it.
@@ -12,12 +12,14 @@
 //	ssjcheck [-seed S] [-records N] [-vocab V] [-tau T]
 //	         [-skew Z] [-neardup R] [-title-min N] [-title-max N] [-overlap F]
 //	         [-join self,rs] [-combo LIST] [-routing LIST] [-blocks LIST]
-//	         [-bitmap LIST] [-exec LIST] [-workers N] [-chaos RATE] [-chaos-seed S]
+//	         [-build LIST] [-bitmap LIST] [-exec LIST]
+//	         [-workers N] [-chaos RATE] [-chaos-seed S]
 //	         [-sweep] [-invariants] [-serve] [-minimize] [-v]
 //
 // The matrix filters take comma-separated allowlists (empty = all):
-// combos like "BTO-PK-BRJ,OPTO-BK-OPRJ", routings "individual,grouped",
-// blocks "none,map,reduce", bitmaps "off,on", execs
+// combos like "BTO-PK-BRJ,OPTO-FVT-OPRJ" (kernels BK, PK, FVT),
+// routings "individual,grouped", blocks "none,map,reduce", FVT build
+// paths "bulk,incr", bitmaps "off,on", execs
 // "plain,faults,parallel,dist".
 //
 // "dist" cells dispatch task attempts to -workers forked worker
@@ -60,9 +62,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		overlap  = fs.Float64("overlap", 0, "fraction of S derived from R in R-S workloads (default 0.5)")
 
 		joins    = fs.String("join", "", "join kinds to sweep: self,rs (empty = both)")
-		combos   = fs.String("combo", "", "stage combos to sweep, e.g. BTO-PK-BRJ (empty = all eight)")
+		combos   = fs.String("combo", "", "stage combos to sweep, e.g. BTO-PK-BRJ (empty = all twelve)")
 		routings = fs.String("routing", "", "token routings to sweep: individual,grouped (empty = both)")
 		blocks   = fs.String("blocks", "", "block modes to sweep: none,map,reduce (empty = all)")
+		builds   = fs.String("build", "", "FVT build paths to sweep: bulk,incr (empty = both)")
 		bitmaps  = fs.String("bitmap", "", "bitmap filter settings to sweep: off,on (empty = both)")
 		execs    = fs.String("exec", "", "execution modes to sweep: plain,faults,parallel,dist (empty = all)")
 
@@ -110,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Combos:   *combos,
 			Routings: *routings,
 			Blocks:   *blocks,
+			Builds:   *builds,
 			Bitmaps:  *bitmaps,
 			Execs:    *execs,
 		}

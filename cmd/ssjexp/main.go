@@ -9,8 +9,8 @@
 //
 // -only selects a comma-separated subset of experiment names (fig8, fig9,
 // table1, fig11, table2, fig12, fig13, fig14, groups, skew, blocks,
-// filters, kernels, routing, combiner, singlestage, engine, tau, faults,
-// nodefaults, distrib, serve).
+// filters, kernels, fvt, routing, combiner, singlestage, engine, tau,
+// faults, nodefaults, distrib, serve).
 //
 // Unlike the simulated-makespan experiments, "distrib" and "serve"
 // measure real wall-clock time; -distrib-out FILE and -serve-out FILE
@@ -161,6 +161,7 @@ func main() {
 	run("blocks", func() (renderer, error) { return s.BlockProcessing() })
 	run("filters", func() (renderer, error) { return s.FilterAblation() })
 	run("kernels", func() (renderer, error) { return s.KernelStats() })
+	run("fvt", func() (renderer, error) { return s.FVTAblation() })
 	run("routing", func() (renderer, error) { return s.RoutingAblation() })
 	run("combiner", func() (renderer, error) { return s.CombinerAblation() })
 	run("singlestage", func() (renderer, error) { return s.SingleStage() })

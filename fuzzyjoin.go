@@ -94,9 +94,11 @@ const (
 	// BTO / OPTO select the Stage 1 token-ordering algorithm.
 	BTO  = core.BTO
 	OPTO = core.OPTO
-	// BK / PK select the Stage 2 kernel.
-	BK = core.BK
-	PK = core.PK
+	// BK / PK / FVT select the Stage 2 kernel (FVT is the
+	// candidate-free Filter-and-Verification Tree, internal/fvt).
+	BK  = core.BK
+	PK  = core.PK
+	FVT = core.FVT
 	// BRJ / OPRJ select the Stage 3 record join.
 	BRJ  = core.BRJ
 	OPRJ = core.OPRJ

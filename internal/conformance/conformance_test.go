@@ -130,9 +130,10 @@ func TestMatrixEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Per join kind: BK has 4 combos × 3 block modes, PK 4 × 1; times 2
-	// routings × 2 bitmap settings × 4 exec modes; times 2 join kinds.
-	if want := 2 * (4*3 + 4*1) * 2 * 2 * 4; len(all) != want {
+	// Per join kind: BK has 4 combos × 3 block modes, PK 4 × 1, FVT
+	// 4 × 2 build paths; times 2 routings × 2 bitmap settings × 4 exec
+	// modes; times 2 join kinds.
+	if want := 2 * (4*3 + 4*1 + 4*2) * 2 * 2 * 4; len(all) != want {
 		t.Fatalf("full matrix has %d variants, want %d", len(all), want)
 	}
 	seen := map[string]bool{}
@@ -165,7 +166,7 @@ func TestVariantFlagsNameReproducer(t *testing.T) {
 	w := Workload{Records: 30, Seed: 9, Skew: 1.5}
 	got := v.Flags(w, Params{Threshold: 0.7})
 	for _, frag := range []string{"-seed 9", "-records 30", "-tau 0.7", "-join rs",
-		"-combo BTO-BK-BRJ", "-blocks map", "-bitmap on", "-exec faults", "-skew 1.5"} {
+		"-combo BTO-BK-BRJ", "-blocks map", "-build bulk", "-bitmap on", "-exec faults", "-skew 1.5"} {
 		if !strings.Contains(got, frag) {
 			t.Fatalf("reproducer %q missing %q", got, frag)
 		}
@@ -240,7 +241,7 @@ func TestSweepPlainMatrix(t *testing.T) {
 // execution dimensions over a representative stage subset.
 func TestSweepExecModes(t *testing.T) {
 	variants, err := Matrix(Filter{
-		Combos: "BTO-BK-BRJ,OPTO-PK-OPRJ",
+		Combos: "BTO-BK-BRJ,OPTO-PK-OPRJ,BTO-FVT-OPRJ",
 		Execs:  "faults,parallel",
 	})
 	if err != nil {
@@ -262,7 +263,7 @@ func TestSweepExecModes(t *testing.T) {
 // second pass arms the seeded SIGKILL chaos harness.
 func TestSweepDistBackend(t *testing.T) {
 	variants, err := Matrix(Filter{
-		Combos: "BTO-BK-BRJ,OPTO-PK-OPRJ",
+		Combos: "BTO-BK-BRJ,OPTO-PK-OPRJ,OPTO-FVT-BRJ",
 		Execs:  "dist",
 	})
 	if err != nil {
@@ -318,7 +319,7 @@ func TestDistWithoutRunnerFailsLoudly(t *testing.T) {
 
 // TestSweepOtherThresholds runs a spot check away from the default τ.
 func TestSweepOtherThresholds(t *testing.T) {
-	variants, err := Matrix(Filter{Combos: "BTO-BK-BRJ,BTO-PK-BRJ", Execs: "plain", Blocks: "none,reduce"})
+	variants, err := Matrix(Filter{Combos: "BTO-BK-BRJ,BTO-PK-BRJ,BTO-FVT-BRJ", Execs: "plain", Blocks: "none,reduce"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,6 +52,11 @@ type Variant struct {
 	Routing core.Routing
 	// Block is the §5 block-processing mode (BK kernel only).
 	Block core.BlockMode
+	// Build selects the FVT tree build path (FVT kernel only): false =
+	// deterministic sorted bulk build, true = streaming arrival-order
+	// incremental build (the tail-extended path the online service
+	// uses). Result-identical by design, so both must match the oracle.
+	Build bool
 	// Bitmap enables the bitmap-filter verification fast path. The
 	// filter is admissible, so both settings must match the oracle.
 	Bitmap bool
@@ -88,11 +93,18 @@ func bitmapFlag(on bool) string {
 	return "off"
 }
 
+func buildFlag(incr bool) string {
+	if incr {
+		return "incr"
+	}
+	return "bulk"
+}
+
 // Name renders the variant compactly, e.g.
-// "self/BTO-BK-BRJ/grouped/blocks=map/bitmap=on/faults".
+// "self/BTO-BK-BRJ/grouped/blocks=map/build=bulk/bitmap=on/faults".
 func (v Variant) Name() string {
-	return fmt.Sprintf("%s/%s/%s/blocks=%s/bitmap=%s/%s",
-		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), bitmapFlag(v.Bitmap), v.Exec)
+	return fmt.Sprintf("%s/%s/%s/blocks=%s/build=%s/bitmap=%s/%s",
+		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), buildFlag(v.Build), bitmapFlag(v.Bitmap), v.Exec)
 }
 
 // Flags renders the exact ssjcheck invocation that re-runs this single
@@ -100,9 +112,9 @@ func (v Variant) Name() string {
 func (v Variant) Flags(w Workload, p Params) string {
 	w = w.fill()
 	p = p.fill()
-	s := fmt.Sprintf("ssjcheck -seed %d -records %d -vocab %d -tau %g -join %s -combo %s -routing %s -blocks %s -bitmap %s -exec %s",
+	s := fmt.Sprintf("ssjcheck -seed %d -records %d -vocab %d -tau %g -join %s -combo %s -routing %s -blocks %s -build %s -bitmap %s -exec %s",
 		w.Seed, w.Records, w.Vocab, p.Threshold,
-		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), bitmapFlag(v.Bitmap), v.Exec)
+		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), buildFlag(v.Build), bitmapFlag(v.Bitmap), v.Exec)
 	if v.Exec == ExecDist {
 		s += " -workers 2"
 	}
@@ -122,13 +134,14 @@ func (v Variant) Flags(w Workload, p Params) string {
 // lists. Empty fields mean "all". Values match the tokens used in
 // Variant names and ssjcheck flags: joins "self,rs"; combos like
 // "BTO-PK-OPRJ"; routings "individual,grouped"; blocks
-// "none,map,reduce"; bitmaps "off,on"; execs
+// "none,map,reduce"; builds "bulk,incr"; bitmaps "off,on"; execs
 // "plain,faults,parallel,dist".
 type Filter struct {
 	Joins    string
 	Combos   string
 	Routings string
 	Blocks   string
+	Builds   string
 	Bitmaps  string
 	Execs    string
 }
@@ -173,7 +186,7 @@ func (f Filter) validate() error {
 	}
 	var combos []string
 	for _, to := range []core.TokenOrderAlg{core.BTO, core.OPTO} {
-		for _, k := range []core.KernelAlg{core.BK, core.PK} {
+		for _, k := range []core.KernelAlg{core.BK, core.PK, core.FVT} {
 			for _, rj := range []core.RecordJoinAlg{core.BRJ, core.OPRJ} {
 				combos = append(combos, fmt.Sprintf("%s-%s-%s", to, k, rj))
 			}
@@ -188,6 +201,9 @@ func (f Filter) validate() error {
 	if err := check("-blocks", f.Blocks, []string{"none", "map", "reduce"}); err != nil {
 		return err
 	}
+	if err := check("-build", f.Builds, []string{"bulk", "incr"}); err != nil {
+		return err
+	}
 	if err := check("-bitmap", f.Bitmaps, []string{"off", "on"}); err != nil {
 		return err
 	}
@@ -196,9 +212,10 @@ func (f Filter) validate() error {
 
 // Matrix enumerates every valid variant passing the filter, in a fixed
 // deterministic order: join × token order × kernel × record join ×
-// routing × block mode × bitmap × exec mode. Block modes other than
-// "none" are only generated for the BK kernel (the §5 strategies are
-// BK-only, as core.Validate enforces).
+// routing × block mode × build × bitmap × exec mode. Block modes other
+// than "none" are only generated for the BK kernel (the §5 strategies
+// are BK-only, as core.Validate enforces) and the incremental build
+// only for the FVT kernel (the other kernels have no tree to build).
 func Matrix(f Filter) ([]Variant, error) {
 	if err := f.validate(); err != nil {
 		return nil, err
@@ -209,7 +226,7 @@ func Matrix(f Filter) ([]Variant, error) {
 			continue
 		}
 		for _, to := range []core.TokenOrderAlg{core.BTO, core.OPTO} {
-			for _, k := range []core.KernelAlg{core.BK, core.PK} {
+			for _, k := range []core.KernelAlg{core.BK, core.PK, core.FVT} {
 				for _, rj := range []core.RecordJoinAlg{core.BRJ, core.OPRJ} {
 					v := Variant{RS: rs, TokenOrder: to, Kernel: k, RecordJoin: rj}
 					if !keep(f.Combos, v.combo()) {
@@ -223,24 +240,34 @@ func Matrix(f Filter) ([]Variant, error) {
 						if k == core.BK {
 							blocks = append(blocks, core.MapBlocks, core.ReduceBlocks)
 						}
+						builds := []bool{false}
+						if k == core.FVT {
+							builds = append(builds, true)
+						}
 						for _, bm := range blocks {
 							if !keep(f.Blocks, blockFlag(bm)) {
 								continue
 							}
-							for _, bitmap := range []bool{false, true} {
-								if !keep(f.Bitmaps, bitmapFlag(bitmap)) {
+							for _, build := range builds {
+								if !keep(f.Builds, buildFlag(build)) {
 									continue
 								}
-								for _, exec := range []ExecMode{ExecPlain, ExecFaults, ExecParallel, ExecDist} {
-									if !keep(f.Execs, exec.String()) {
+								for _, bitmap := range []bool{false, true} {
+									if !keep(f.Bitmaps, bitmapFlag(bitmap)) {
 										continue
 									}
-									v2 := v
-									v2.Routing = routing
-									v2.Block = bm
-									v2.Bitmap = bitmap
-									v2.Exec = exec
-									out = append(out, v2)
+									for _, exec := range []ExecMode{ExecPlain, ExecFaults, ExecParallel, ExecDist} {
+										if !keep(f.Execs, exec.String()) {
+											continue
+										}
+										v2 := v
+										v2.Routing = routing
+										v2.Block = bm
+										v2.Build = build
+										v2.Bitmap = bitmap
+										v2.Exec = exec
+										out = append(out, v2)
+									}
 								}
 							}
 						}

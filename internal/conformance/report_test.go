@@ -1,0 +1,53 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzyjoin/internal/core"
+)
+
+// TestReportRendering pins the failure-report surfaces ssjcheck prints:
+// OK, the divergence reproducer line, and the invariant reproducer.
+func TestReportRendering(t *testing.T) {
+	rep := &Report{}
+	if !rep.OK() {
+		t.Fatal("empty report not OK")
+	}
+	d := Divergence{Variant: "v", Against: "oracle", Detail: "missing pair", Repro: "ssjcheck -seed 1"}
+	if s := d.String(); !strings.Contains(s, "v vs oracle") || !strings.Contains(s, "repro: ssjcheck -seed 1") {
+		t.Fatalf("divergence rendering: %q", s)
+	}
+	f := InvariantFailure{Name: "threshold-monotonicity", Detail: "pair vanished", Repro: "ssjcheck -invariants"}
+	if s := f.String(); !strings.Contains(s, "threshold-monotonicity:") || !strings.Contains(s, "repro:") {
+		t.Fatalf("invariant rendering: %q", s)
+	}
+	if r := invariantRepro(Workload{Seed: 3, Records: 20}, Params{}); !strings.Contains(r, "ssjcheck -seed 3") {
+		t.Fatalf("invariant repro: %q", r)
+	}
+}
+
+// TestSweepReportsPipelineError: a variant that cannot run (dist exec
+// without a worker session) must land in the report as a divergence
+// with a reproducer, not abort the sweep.
+func TestSweepReportsPipelineError(t *testing.T) {
+	v := Variant{TokenOrder: core.BTO, Kernel: core.BK, RecordJoin: core.BRJ, Exec: ExecDist}
+	rep := Sweep(Workload{Seed: 1, Records: 10}, Params{}, []Variant{v}, SweepOptions{NoMinimize: true})
+	if rep.OK() || len(rep.Divergences) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if d := rep.Divergences[0]; !strings.Contains(d.Detail, "pipeline error") || d.Repro == "" {
+		t.Fatalf("divergence = %+v", d)
+	}
+}
+
+// TestMinimizeRecordsShrinks: the minimizer drives a persistently
+// failing variant down to the smallest workload (the dist variant
+// without a runner fails at every size).
+func TestMinimizeRecordsShrinks(t *testing.T) {
+	v := Variant{TokenOrder: core.BTO, Kernel: core.BK, RecordJoin: core.BRJ, Exec: ExecDist}
+	mw := minimizeRecords(Workload{Seed: 1, Records: 40}.fill(), Params{}.fill(), v)
+	if mw.Records != 2 {
+		t.Fatalf("minimized to %d records, want 2", mw.Records)
+	}
+}

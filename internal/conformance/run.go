@@ -40,6 +40,9 @@ func (v Variant) config(w Workload, p Params, fs *dfs.FS) core.Config {
 		cfg.BlockMode = v.Block
 		cfg.NumBlocks = 3
 	}
+	if v.Kernel == core.FVT {
+		cfg.FVTIncremental = v.Build
+	}
 	switch v.Exec {
 	case ExecFaults:
 		cfg.Retry = mapreduce.RetryPolicy{MaxAttempts: 3}

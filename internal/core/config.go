@@ -58,13 +58,21 @@ const (
 	// PK (PPJoin+ Kernel) streams each reduce group through a PPJoin+
 	// index in length order.
 	PK
+	// FVT (Filter-and-Verification Tree) builds a prefix tree over the
+	// reduce group and verifies during traversal — no candidate pairs
+	// are materialized (internal/fvt).
+	FVT
 )
 
 func (a KernelAlg) String() string {
-	if a == PK {
+	switch a {
+	case PK:
 		return "PK"
+	case FVT:
+		return "FVT"
+	default:
+		return "BK"
 	}
-	return "BK"
 }
 
 // RecordJoinAlg selects the Stage 3 algorithm.
@@ -171,6 +179,12 @@ type Config struct {
 	// reducer-slot-scaled token count — see Stage 2.
 	Routing   Routing
 	NumGroups int
+	// FVTIncremental switches the FVT kernel's tree build from the
+	// deterministic sorted bulk order to streaming arrival order
+	// (probe-then-insert) — the tail-extended incremental path the
+	// online service uses. Result-identical to the bulk build; requires
+	// Kernel == FVT.
+	FVTIncremental bool
 
 	// NumReducers is the reduce-task count per job (the paper runs
 	// 4 × nodes). Defaults to 4.

@@ -213,7 +213,7 @@ func TestSelfJoinAllCombos(t *testing.T) {
 		t.Fatalf("test corpus too sparse: %d oracle pairs", len(want))
 	}
 	for _, to := range []TokenOrderAlg{BTO, OPTO} {
-		for _, k := range []KernelAlg{BK, PK} {
+		for _, k := range []KernelAlg{BK, PK, FVT} {
 			for _, rj := range []RecordJoinAlg{BRJ, OPRJ} {
 				for _, routing := range []Routing{IndividualTokens, GroupedTokens} {
 					name := fmt.Sprintf("%s-%s-%s-%s", to, k, rj, routing)
@@ -274,7 +274,7 @@ func TestRSJoinAllCombos(t *testing.T) {
 	if len(want) < 3 {
 		t.Fatalf("test corpus too sparse: %d oracle pairs", len(want))
 	}
-	for _, k := range []KernelAlg{BK, PK} {
+	for _, k := range []KernelAlg{BK, PK, FVT} {
 		for _, rj := range []RecordJoinAlg{BRJ, OPRJ} {
 			for _, routing := range []Routing{IndividualTokens, GroupedTokens} {
 				name := fmt.Sprintf("BTO-%s-%s-%s", k, rj, routing)

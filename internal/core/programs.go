@@ -71,6 +71,7 @@ type cfgSpec struct {
 	Filters      filter.Stack `json:"filters"`
 	BitmapFilter bool         `json:"bitmap,omitempty"`
 	Kernel       int          `json:"kernel"`
+	FVTIncr      bool         `json:"fvt_incr,omitempty"`
 	Routing      int          `json:"routing"`
 	NumGroups    int          `json:"num_groups,omitempty"`
 	BlockMode    int          `json:"block_mode,omitempty"`
@@ -89,6 +90,7 @@ func cfgSpecOf(cfg *Config) (cfgSpec, bool) {
 		Filters:      *cfg.Filters,
 		BitmapFilter: cfg.BitmapFilter,
 		Kernel:       int(cfg.Kernel),
+		FVTIncr:      cfg.FVTIncremental,
 		Routing:      int(cfg.Routing),
 		NumGroups:    cfg.NumGroups,
 		BlockMode:    int(cfg.BlockMode),
@@ -105,19 +107,20 @@ func (cs cfgSpec) config() (*Config, error) {
 	}
 	filters := cs.Filters
 	return &Config{
-		Tokenizer:    tok,
-		JoinFields:   cs.JoinFields,
-		Fn:           simfn.Func(cs.Fn),
-		Threshold:    cs.Threshold,
-		Filters:      &filters,
-		BitmapFilter: cs.BitmapFilter,
-		Kernel:       KernelAlg(cs.Kernel),
-		Routing:      Routing(cs.Routing),
-		NumGroups:    cs.NumGroups,
-		BlockMode:    BlockMode(cs.BlockMode),
-		NumBlocks:    cs.NumBlocks,
-		LengthBucket: cs.LengthBucket,
-		NoCombiner:   cs.NoCombiner,
+		Tokenizer:      tok,
+		JoinFields:     cs.JoinFields,
+		Fn:             simfn.Func(cs.Fn),
+		Threshold:      cs.Threshold,
+		Filters:        &filters,
+		BitmapFilter:   cs.BitmapFilter,
+		Kernel:         KernelAlg(cs.Kernel),
+		FVTIncremental: cs.FVTIncr,
+		Routing:        Routing(cs.Routing),
+		NumGroups:      cs.NumGroups,
+		BlockMode:      BlockMode(cs.BlockMode),
+		NumBlocks:      cs.NumBlocks,
+		LengthBucket:   cs.LengthBucket,
+		NoCombiner:     cs.NoCombiner,
 	}, nil
 }
 
@@ -207,17 +210,23 @@ func programFor(cfg *Config, ps progSpec) (*mapreduce.Program, error) {
 		p.Reducer = &optoReducer{}
 	case "s2-self":
 		p.Mapper = newS2(relR, false)
-		if cfg.Kernel == PK {
+		switch cfg.Kernel {
+		case PK:
 			p.Reducer = &pkSelfReducer{cfg: cfg}
 			group4()
-		} else {
+		case FVT:
+			p.Reducer = &fvtSelfReducer{fvtReducerBase{cfg: cfg, tokenFile: ps.TokenFile}}
+		default:
 			p.Reducer = &bkSelfReducer{cfg: cfg}
 		}
 	case "s2-rs":
 		p.Mapper = &rsDispatchMapper{r: newS2(relR, true), s: newS2(relS, true), isR: isRFor(ps)}
-		if cfg.Kernel == PK {
+		switch cfg.Kernel {
+		case PK:
 			p.Reducer = &pkRSReducer{cfg: cfg}
-		} else {
+		case FVT:
+			p.Reducer = &fvtRSReducer{fvtReducerBase{cfg: cfg, tokenFile: ps.TokenFile}}
+		default:
 			p.Reducer = &bkRSReducer{cfg: cfg}
 		}
 		group4()

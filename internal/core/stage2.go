@@ -19,9 +19,9 @@ import (
 // Key layouts (all integers big-endian; partitioning and grouping use the
 // 4-byte group prefix, sorting uses the full key):
 //
-//	self BK:  [group u32]
+//	self BK:  [group u32]                       (FVT: same)
 //	self PK:  [group u32][length u32]
-//	R-S  BK:  [group u32][rel u8]               rel: 0 = R, 1 = S
+//	R-S  BK:  [group u32][rel u8]               rel: 0 = R, 1 = S (FVT: same)
 //	R-S  PK:  [group u32][class u32][rel u8]    class: R → lengthLowerBound(l), S → l
 //
 // The PK length ordering realizes the index-eviction optimization; the
@@ -135,7 +135,7 @@ func (m *stage2Mapper) emitProjection(g uint32, length int, out mapreduce.Emitte
 	switch {
 	case !m.rs && m.cfg.Kernel == PK:
 		k = keys.AppendUint32(k, uint32(length))
-	case m.rs && m.cfg.Kernel == BK:
+	case m.rs && (m.cfg.Kernel == BK || m.cfg.Kernel == FVT):
 		k = append(k, m.rel)
 	case m.rs && m.cfg.Kernel == PK:
 		class := uint32(length)
@@ -163,6 +163,10 @@ func kernelOptions(cfg *Config) ppjoin.Options {
 
 func countKernelStats(ctx *mapreduce.Context, st ppjoin.Stats) {
 	ctx.Count("stage2.candidates", st.Candidates)
+	// BK and PK materialize every candidate before verification; the
+	// FVT kernel reports 0 here (countFVTStats), making the
+	// shuffle-volume claim measurable per cell.
+	ctx.Count("stage2.candidates_materialized", st.Candidates)
 	ctx.Count("stage2.bitmap_rejected", st.BitmapRejected)
 	ctx.Count("stage2.verified", st.Verified)
 	ctx.Count("stage2.results", st.Results)

@@ -1,0 +1,244 @@
+package core
+
+// Stage 2, FVT kernel (internal/fvt): reducers build a
+// Filter-and-Verification Tree over each reduce group and verify pairs
+// during traversal — no candidate pair is ever materialized
+// (stage2.candidates_materialized is always 0 for FVT cells).
+//
+// Routing reuses the BK key layouts (see stage2.go). Because a group
+// receives every record whose prefix contains one of its tokens, a
+// τ-pair is replicated to every group its shared prefix tokens route
+// to — so without care each pair would be verified and emitted once
+// per shared group. The tree's Owner hook makes emission exact-once
+// instead: a group only emits pairs whose *minimal* common prefix
+// token routes to it. Both sides of such a pair are guaranteed present
+// in that group (the minimal common token is in both prefixes), every
+// pair has exactly one minimal common token, and so exactly one owner
+// group. Stage 3 still dedups, but FVT's Stage 2 output stays
+// duplicate-free, which is where its shuffle-byte reduction on skewed
+// inputs comes from.
+
+import (
+	"encoding/binary"
+
+	"fuzzyjoin/internal/fvt"
+	"fuzzyjoin/internal/mapreduce"
+	"fuzzyjoin/internal/ppjoin"
+	"fuzzyjoin/internal/records"
+)
+
+func fvtOptions(cfg *Config, owner func(uint32) bool) fvt.Options {
+	return fvt.Options{Fn: cfg.Fn, Threshold: cfg.Threshold,
+		Filters: *cfg.Filters, Bitmap: cfg.BitmapFilter, Owner: owner}
+}
+
+func countFVTStats(ctx *mapreduce.Context, st fvt.Stats) {
+	ctx.Count("stage2.tree_nodes_visited", st.NodesVisited)
+	ctx.Count("stage2.candidates_avoided", st.CandidatesAvoided)
+	ctx.Count("stage2.bitmap_rejected", st.BitmapRejected)
+	ctx.Count("stage2.verified", st.Verified)
+	ctx.Count("stage2.results", st.Results)
+	// FVT never materializes a candidate list; counting 0 creates the
+	// counter so every cell's traces and metrics carry it.
+	ctx.Count("stage2.candidates_materialized", 0)
+}
+
+// fvtReducerBase carries the per-task state both FVT reducers share:
+// the group→owner mapping, which for grouped routing needs the same
+// group count the mapper derived.
+type fvtReducerBase struct {
+	cfg       *Config
+	tokenFile string
+	numGroups int
+}
+
+func (b *fvtReducerBase) Setup(ctx *mapreduce.Context) error {
+	if b.cfg.Routing != GroupedTokens {
+		return nil
+	}
+	b.numGroups = b.cfg.NumGroups
+	if b.numGroups >= 1 {
+		return nil
+	}
+	// Mirror stage2Mapper.Setup: with no explicit group count, grouped
+	// routing uses one group per distinct token.
+	data, err := ctx.SideFile(b.tokenFile)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Memory.Alloc(int64(len(data))); err != nil {
+		return err
+	}
+	b.numGroups = loadTokenOrder(data).Len()
+	ctx.Memory.Free(int64(len(data))) // only the count is retained
+	if b.numGroups < 1 {
+		b.numGroups = 1
+	}
+	return nil
+}
+
+// owner returns the emit-once hook for the reduce group of key: the
+// group owns exactly the tokens the mapper routes to it.
+func (b *fvtReducerBase) owner(key []byte) func(uint32) bool {
+	g := binary.BigEndian.Uint32(key[:4])
+	if b.cfg.Routing == GroupedTokens {
+		n := uint32(b.numGroups)
+		return func(w uint32) bool { return w%n == g }
+	}
+	return func(w uint32) bool { return w == g }
+}
+
+// fvtSelfReducer joins one reduce group with itself through the tree.
+type fvtSelfReducer struct {
+	fvtReducerBase
+}
+
+func (r *fvtSelfReducer) NewTaskInstance() any {
+	return &fvtSelfReducer{fvtReducerBase{cfg: r.cfg, tokenFile: r.tokenFile}}
+}
+
+func (r *fvtSelfReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapreduce.Values, out mapreduce.Emitter) error {
+	tree := fvt.New(fvtOptions(r.cfg, r.owner(key)))
+	var heldItems, heldTree int64
+	defer func() { ctx.Memory.Free(heldItems + heldTree) }()
+	var emitErr error
+	if r.cfg.FVTIncremental {
+		// Streaming probe-then-insert in arrival order — the
+		// tail-extended incremental build path. Pair RIDs arrive in no
+		// particular order, so normalize on emit.
+		for v, ok := values.Next(); ok; v, ok = values.Next() {
+			p, err := records.DecodeProjection(v)
+			if err != nil {
+				return err
+			}
+			it := ppjoin.Item{RID: p.RID, Ranks: p.Ranks}
+			tree.Probe(it, func(pair records.RIDPair) {
+				if pair.A > pair.B {
+					pair.A, pair.B = pair.B, pair.A
+				}
+				if emitErr == nil {
+					emitErr = emitRIDPair(out, pair)
+				}
+			})
+			if emitErr != nil {
+				return emitErr
+			}
+			tree.Add(it)
+			if delta := tree.Bytes() - heldTree; delta > 0 {
+				if err := ctx.Memory.Alloc(delta); err != nil {
+					return err
+				}
+				heldTree = tree.Bytes()
+			}
+		}
+	} else {
+		// Bulk: buffer the group, build in deterministic (length, RID)
+		// order, then self-probe every item (the RID guard yields each
+		// unordered pair exactly once, already normalized).
+		var items []ppjoin.Item
+		for v, ok := values.Next(); ok; v, ok = values.Next() {
+			p, err := records.DecodeProjection(v)
+			if err != nil {
+				return err
+			}
+			b := projectionBytes(p)
+			if err := ctx.Memory.Alloc(b); err != nil {
+				return err
+			}
+			heldItems += b
+			items = append(items, ppjoin.Item{RID: p.RID, Ranks: p.Ranks})
+		}
+		fvt.SortItems(items)
+		for i := range items {
+			tree.Add(items[i])
+		}
+		// The tree shares the items' rank storage; swap the buffered
+		// charge for the tree's own accounting.
+		if err := ctx.Memory.Alloc(tree.Bytes()); err != nil {
+			return err
+		}
+		heldTree = tree.Bytes()
+		ctx.Memory.Free(heldItems)
+		heldItems = 0
+		for i := range items {
+			tree.SelfProbe(items[i], func(pair records.RIDPair) {
+				if emitErr == nil {
+					emitErr = emitRIDPair(out, pair)
+				}
+			})
+			if emitErr != nil {
+				return emitErr
+			}
+		}
+	}
+	countFVTStats(ctx, tree.Stats())
+	return emitErr
+}
+
+// fvtRSReducer builds the tree over a group's R projections (they sort
+// first, rel byte in the key) and probes each S projection against it
+// as it streams — like BK, only R must fit in memory (§5).
+type fvtRSReducer struct {
+	fvtReducerBase
+}
+
+func (r *fvtRSReducer) NewTaskInstance() any {
+	return &fvtRSReducer{fvtReducerBase{cfg: r.cfg, tokenFile: r.tokenFile}}
+}
+
+func (r *fvtRSReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapreduce.Values, out mapreduce.Emitter) error {
+	tree := fvt.New(fvtOptions(r.cfg, r.owner(key)))
+	var (
+		rItems              []ppjoin.Item
+		heldItems, heldTree int64
+		built               bool
+		emitErr             error
+	)
+	defer func() { ctx.Memory.Free(heldItems + heldTree) }()
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		rel, err := relOfBKKey(values.Key())
+		if err != nil {
+			return err
+		}
+		p, err := records.DecodeProjection(v)
+		if err != nil {
+			return err
+		}
+		it := ppjoin.Item{RID: p.RID, Ranks: p.Ranks}
+		if rel == relR {
+			b := projectionBytes(p)
+			if err := ctx.Memory.Alloc(b); err != nil {
+				return err
+			}
+			heldItems += b
+			rItems = append(rItems, it)
+			continue
+		}
+		if !built {
+			built = true
+			if !r.cfg.FVTIncremental {
+				fvt.SortItems(rItems)
+			}
+			for i := range rItems {
+				tree.Add(rItems[i])
+			}
+			if err := ctx.Memory.Alloc(tree.Bytes()); err != nil {
+				return err
+			}
+			heldTree = tree.Bytes()
+			ctx.Memory.Free(heldItems)
+			heldItems = 0
+		}
+		// Probe emits {A: R RID, B: S RID}, the R-S output convention.
+		tree.Probe(it, func(pair records.RIDPair) {
+			if emitErr == nil {
+				emitErr = emitRIDPair(out, pair)
+			}
+		})
+		if emitErr != nil {
+			return emitErr
+		}
+	}
+	countFVTStats(ctx, tree.Stats())
+	return emitErr
+}

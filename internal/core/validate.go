@@ -42,7 +42,7 @@ func (c *Config) Validate() error {
 		return &ConfigError{Field: "TokenOrder",
 			Reason: fmt.Sprintf("unknown TokenOrder %d", int(c.TokenOrder))}
 	}
-	if c.Kernel != BK && c.Kernel != PK {
+	if c.Kernel != BK && c.Kernel != PK && c.Kernel != FVT {
 		return &ConfigError{Field: "Kernel",
 			Reason: fmt.Sprintf("unknown Kernel %d", int(c.Kernel))}
 	}
@@ -81,6 +81,10 @@ func (c *Config) Validate() error {
 	if c.LengthRouting && c.Kernel != BK {
 		return &ConfigError{Field: "LengthRouting",
 			Reason: "LengthRouting applies to the BK kernel only"}
+	}
+	if c.FVTIncremental && c.Kernel != FVT {
+		return &ConfigError{Field: "FVTIncremental",
+			Reason: "FVTIncremental applies to the FVT kernel only"}
 	}
 	return nil
 }

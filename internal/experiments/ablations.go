@@ -320,18 +320,22 @@ type KernelAblationResult struct {
 	Rows       []string
 	Times      []time.Duration
 	Candidates []int64
-	Verified   []int64
-	Results    []int64
+	// Materialized is stage2.candidates_materialized: the candidate
+	// pairs a kernel actually buffered before verification (BK and PK
+	// materialize every candidate; FVT none).
+	Materialized []int64
+	Verified     []int64
+	Results      []int64
 }
 
 // Render prints the comparison.
 func (r *KernelAblationResult) Render() string {
-	header := []string{"variant", "stage2(s)", "candidates", "verified", "results"}
+	header := []string{"variant", "stage2(s)", "candidates", "materialized", "verified", "results"}
 	var rows [][]string
 	for i, label := range r.Rows {
 		rows = append(rows, []string{label, seconds(r.Times[i], false),
-			fmt.Sprintf("%d", r.Candidates[i]), fmt.Sprintf("%d", r.Verified[i]),
-			fmt.Sprintf("%d", r.Results[i])})
+			fmt.Sprintf("%d", r.Candidates[i]), fmt.Sprintf("%d", r.Materialized[i]),
+			fmt.Sprintf("%d", r.Verified[i]), fmt.Sprintf("%d", r.Results[i])})
 	}
 	return r.Title + "\n" + table(header, rows)
 }
@@ -359,10 +363,10 @@ func (s *Suite) FilterAblation() (*KernelAblationResult, error) {
 	})
 }
 
-// KernelStats compares BK and PK with the full filter stack.
+// KernelStats compares BK, PK, and FVT with the full filter stack.
 func (s *Suite) KernelStats() (*KernelAblationResult, error) {
 	res := &KernelAblationResult{Title: "Kernel comparison, DBLP x10, 10 nodes"}
-	kernels := []core.KernelAlg{core.BK, core.PK}
+	kernels := []core.KernelAlg{core.BK, core.PK, core.FVT}
 	return s.kernelVariants(res, func(i int, cfg *core.Config) (string, bool) {
 		if i >= len(kernels) {
 			return "", false
@@ -423,16 +427,18 @@ func (s *Suite) kernelVariants(res *KernelAblationResult, pick func(int, *core.C
 			return nil, err
 		}
 		var t time.Duration
-		var cand, ver, results int64
+		var cand, mat, ver, results int64
 		for _, m := range ms {
 			t += spec(nodes).Makespan(fromMetrics(m))
 			cand += m.Counters["stage2.candidates"]
+			mat += m.Counters["stage2.candidates_materialized"]
 			ver += m.Counters["stage2.verified"]
 			results += m.Counters["stage2.results"]
 		}
 		res.Rows = append(res.Rows, label)
 		res.Times = append(res.Times, t)
 		res.Candidates = append(res.Candidates, cand)
+		res.Materialized = append(res.Materialized, mat)
 		res.Verified = append(res.Verified, ver)
 		res.Results = append(res.Results, results)
 	}

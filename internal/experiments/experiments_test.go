@@ -160,8 +160,17 @@ func TestAblationsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ks.Rows) != 2 || ks.Results[0] != ks.Results[1] {
+	if len(ks.Rows) != 3 || ks.Results[0] != ks.Results[1] {
 		t.Fatalf("kernels disagree: %+v", ks)
+	}
+	// BK and PK emit each result once per shared prefix group and
+	// materialize every candidate; FVT emits each pair exactly once and
+	// materializes none.
+	if ks.Materialized[0] == 0 || ks.Materialized[1] == 0 {
+		t.Fatalf("BK/PK materialized no candidates: %+v", ks)
+	}
+	if ks.Materialized[2] != 0 || ks.Results[2] == 0 || ks.Results[2] > ks.Results[0] {
+		t.Fatalf("FVT counters implausible: %+v", ks)
 	}
 
 	ca, err := s.CombinerAblation()
@@ -178,6 +187,14 @@ func TestAblationsSmoke(t *testing.T) {
 	}
 	if len(ra.Rows) != 4 {
 		t.Fatalf("routing variants = %v", ra.Rows)
+	}
+
+	// Every ablation result renders to a non-degenerate table.
+	for _, r := range []interface{ Render() string }{ga, bp, fa, ks, ca, ra} {
+		out := r.Render()
+		if !strings.Contains(out, "\n") || !strings.Contains(out, "stage") {
+			t.Fatalf("implausible render:\n%s", out)
+		}
 	}
 }
 
@@ -310,6 +327,9 @@ func TestEngineAblationSmoke(t *testing.T) {
 	if r.Spills[0] != 0 || r.Spills[1] != 0 {
 		t.Fatalf("unexpected spills: %v", r.Spills)
 	}
+	if !strings.Contains(r.Render(), "Engine ablation") {
+		t.Fatal("render missing content")
+	}
 }
 
 func TestThresholdSweepSmoke(t *testing.T) {
@@ -330,5 +350,42 @@ func TestThresholdSweepSmoke(t *testing.T) {
 		if r.Pairs[i] > r.Pairs[i-1] {
 			t.Fatalf("pairs increased with τ: %v", r.Pairs)
 		}
+	}
+	if !strings.Contains(r.Render(), "Threshold sweep") {
+		t.Fatal("render missing content")
+	}
+}
+
+// TestFVTAblation: the candidate-free ablation's core claims — every
+// kernel finds the identical distinct pairs (enforced internally), BK
+// and PK materialize candidates while FVT materializes none, and FVT's
+// exact-once emission shrinks the Stage 2 output stream.
+func TestFVTAblation(t *testing.T) {
+	s := NewSuite(tinyParams())
+	r, err := s.FVTAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Pairs[0] == 0 {
+		t.Fatal("skewed workload produced no pairs")
+	}
+	if r.Materialized[0] == 0 || r.Materialized[1] == 0 {
+		t.Fatalf("BK/PK materialized nothing: %v", r.Materialized)
+	}
+	if r.Materialized[2] != 0 || r.Materialized[3] != 0 {
+		t.Fatalf("FVT materialized candidates: %v", r.Materialized)
+	}
+	if r.OutputBytes[2] >= r.OutputBytes[0] {
+		t.Fatalf("FVT did not shrink stage-2 output: %v", r.OutputBytes)
+	}
+	// The incremental build is result- and volume-identical to bulk.
+	if r.OutputBytes[3] != r.OutputBytes[2] || r.Pairs[3] != r.Pairs[2] {
+		t.Fatalf("incremental build diverged: out=%v pairs=%v", r.OutputBytes, r.Pairs)
+	}
+	if !strings.Contains(r.Render(), "materialized") {
+		t.Fatal("render missing the materialized column")
 	}
 }

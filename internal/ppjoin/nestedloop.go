@@ -53,9 +53,21 @@ func checkPair(x, y *Item, opts Options, st *Stats) (float64, bool) {
 	if opts.Filters.Suffix && !filter.Suffix(x.Ranks, y.Ranks, i, j, need) {
 		return 0, false
 	}
-	if opts.Bitmap && !bitsig.Admits(lx, ly, x.Sig().HammingXor(y.Sig()), need) {
-		st.BitmapRejected++
-		return 0, false
+	if opts.Bitmap {
+		if !bitsig.Admits(lx, ly, x.Sig().HammingXor(y.Sig()), need) {
+			st.BitmapRejected++
+			return 0, false
+		}
+		// Bitmap-admitted pairs use the word-parallel blocked merge;
+		// overlap ≥ need is exactly sim ≥ τ (OverlapThreshold is the
+		// precise acceptance boundary), so the decision matches Verify.
+		st.Verified++
+		o := WordIntersect(x.Ranks, y.Ranks)
+		if o < need {
+			return opts.Fn.SimFromOverlap(o, lx, ly), false
+		}
+		st.Results++
+		return opts.Fn.SimFromOverlap(o, lx, ly), true
 	}
 	st.Verified++
 	sim, ok := opts.Fn.Verify(x.Ranks, y.Ranks, opts.Threshold)

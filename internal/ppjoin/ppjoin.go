@@ -288,8 +288,21 @@ func (ix *Index) Probe(x Item, emit func(pair records.RIDPair)) {
 			continue
 		}
 		y := &ix.items[c]
-		if ix.opts.Bitmap && !bitsig.Admits(lx, ix.lens[c], sx.HammingXor(y.Sig()), int(ix.need[c])) {
-			ix.stats.BitmapRejected++
+		if ix.opts.Bitmap {
+			need := int(ix.need[c])
+			if !bitsig.Admits(lx, ix.lens[c], sx.HammingXor(y.Sig()), need) {
+				ix.stats.BitmapRejected++
+				continue
+			}
+			// Bitmap-admitted pairs take the word-parallel blocked
+			// merge; overlap ≥ need is exactly sim ≥ τ.
+			ix.stats.Verified++
+			o := WordIntersect(x.Ranks, y.Ranks)
+			if o >= need {
+				ix.stats.Results++
+				emit(records.RIDPair{A: y.RID, B: x.RID,
+					Sim: ix.opts.Fn.SimFromOverlap(o, lx, ix.lens[c])})
+			}
 			continue
 		}
 		ix.stats.Verified++

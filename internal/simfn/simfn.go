@@ -90,10 +90,13 @@ func Overlap(x, y []uint32) int {
 // Two empty sets have similarity 0.
 func (f Func) Sim(x, y []uint32) float64 {
 	o := Overlap(x, y)
-	return f.simFromOverlap(o, len(x), len(y))
+	return f.SimFromOverlap(o, len(x), len(y))
 }
 
-func (f Func) simFromOverlap(o, lx, ly int) float64 {
+// SimFromOverlap returns the similarity of two sets of the given
+// lengths with overlap o — for callers that already computed the exact
+// overlap (e.g. a word-parallel merge) and only need the score.
+func (f Func) SimFromOverlap(o, lx, ly int) float64 {
 	if lx == 0 || ly == 0 {
 		return 0
 	}
@@ -343,5 +346,5 @@ func (f Func) Verify(x, y []uint32, t float64) (float64, bool) {
 	// VerifyOverlap only terminates early on failure, so on success o is
 	// the exact overlap.
 	o, ok := VerifyOverlap(x, y, need)
-	return f.simFromOverlap(o, len(x), len(y)), ok
+	return f.SimFromOverlap(o, len(x), len(y)), ok
 }
