@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race tier1 smoke serve-smoke bench bench-engine bench-distrib bench-serve conformance conformance-dist cover fuzz-smoke
+.PHONY: all build test vet staticcheck race tier1 smoke serve-smoke bench bench-engine bench-distrib bench-serve bench-planner conformance conformance-dist cover fuzz-smoke experiments
 
 all: tier1
 
@@ -30,7 +30,7 @@ staticcheck:
 race:
 	$(GO) test -race ./internal/mapreduce/... ./internal/dfs/... \
 		./internal/distrib/... ./internal/backoff/... ./internal/ssjserve/... \
-		./internal/fvt/...
+		./internal/fvt/... ./internal/plan/...
 
 tier1: build test vet staticcheck race
 
@@ -43,10 +43,10 @@ smoke:
 	@test -s smoke-out/trace.jsonl && test -s smoke-out/timeline.svg && test -s smoke-out/metrics.json
 	@echo "smoke artifacts in smoke-out/"
 
-# conformance sweeps the full pipeline-variant matrix (768 cells: stage
-# combos × self/R-S × routing × block processing × FVT build path ×
-# bitmap filter off/on × plain/faulty/parallel/dist execution) against
-# the exact oracle, then
+# conformance sweeps the full pipeline-variant matrix (1792 cells: stage
+# combos × self/R-S × routing × block processing × hot-token skew split
+# off/k=2/k=4 × FVT build path × bitmap filter off/on ×
+# plain/faulty/parallel/dist execution) against the exact oracle, then
 # runs the metamorphic invariant suite, on a handful of seeded
 # workloads. Any divergence prints a minimized `ssjcheck` reproducer and
 # fails. The bare target covers the in-process modes; dist cells (forked
@@ -108,6 +108,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzVerifyExact -fuzztime=$(FUZZTIME) ./internal/simfn
 	$(GO) test -run='^$$' -fuzz=FuzzBitsigAdmissible -fuzztime=$(FUZZTIME) ./internal/bitsig
 	$(GO) test -run='^$$' -fuzz=FuzzFVTTraversal -fuzztime=$(FUZZTIME) ./internal/fvt
+	$(GO) test -run='^$$' -fuzz=FuzzPlannerDeterministic -fuzztime=$(FUZZTIME) \
+		-fuzzminimizetime=5s ./internal/plan
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -132,9 +134,23 @@ bench-engine:
 bench-distrib:
 	$(GO) run ./cmd/ssjexp -only distrib -distrib-out BENCH_distrib.json
 
+# bench-planner runs the cost-planner ablation: three Zipf-skewed
+# workloads, each joined for real under every hand-grid cell (stage
+# combos × reducer counts) and under the planner's sampled choice;
+# simulated makespans, the planner-vs-best ratio, and the worst-cell
+# margin are recorded to BENCH_planner.json.
+bench-planner:
+	$(GO) run ./cmd/ssjexp -only planner -planner-out BENCH_planner.json
+
 # bench-serve measures the online service under a Zipf-skewed query
 # stream: QPS and p50/p99 latency per index shard count, recorded to
 # BENCH_serve.json (real wall-clock; host and CPU count are recorded in
 # the document, and every shard count must serve the identical pairs).
 bench-serve:
 	$(GO) run ./cmd/ssjexp -only serve -serve-out BENCH_serve.json
+
+# experiments regenerates experiments_output.txt, the full suite's text
+# output (untracked: it is a build artifact; regenerate it locally when
+# you want the complete table set in one file).
+experiments:
+	$(GO) run ./cmd/ssjexp | tee experiments_output.txt

@@ -12,7 +12,15 @@
 //
 // Flags select the per-stage algorithms the paper studies; the default
 // BTO-PK-BRJ is the combination the paper recommends as robust and
-// scalable.
+// scalable. Or let the cost planner choose: -plan auto samples the
+// input, predicts every configuration's makespan on the virtual
+// cluster, prints the ranking to stderr, and runs the cheapest:
+//
+//	fuzzyjoin -in pubs.tsv -plan auto -out pairs.txt
+//
+// Hot-token skew splitting (-split k -split-hot h) spreads each of the
+// h most frequent tokens' reduce groups across k salted sub-keys with a
+// merge-side dedup pass — identical output, bounded reducer skew.
 //
 // Distributed mode (-transport rpc, -workers n) forks n worker
 // processes and dispatches every task attempt to them over RPC; output
@@ -55,6 +63,9 @@ func main() {
 		s3     = flag.String("stage3", "BRJ", "record join: BRJ or OPRJ")
 		bitmap = flag.Bool("bitmap", false, "enable the bitmap-signature verification fast path (identical output, fewer verifications)")
 		red    = flag.Int("reducers", 8, "reduce tasks per job")
+		planIs = flag.String("plan", "", "auto = sample the input, predict every configuration's makespan, and run the cheapest (overrides -stage*, -reducers, -bitmap, -split*)")
+		split  = flag.Int("split", 0, "split each hot token's reduce group across this many salted sub-keys (0 = off, 2..15)")
+		splHot = flag.Int("split-hot", 0, "how many of the most frequent tokens count as hot for -split (default: set it explicitly)")
 		par    = flag.Int("par", 0, "host parallelism (0 = all CPUs; wall-clock only, never affects output)")
 		stats  = flag.Bool("stats", false, "print per-stage statistics to stderr")
 
@@ -94,6 +105,10 @@ func main() {
 		fatal(err)
 	}
 	cfg.BitmapFilter = *bitmap
+	cfg.SplitK, cfg.SplitHotCount = *split, *splHot
+	if *split > 0 && *splHot <= 0 {
+		fatal(fmt.Errorf("-split %d needs -split-hot to say how many head tokens are hot", *split))
+	}
 	cfg.Retry = fuzzyjoin.RetryPolicy{
 		MaxAttempts:    *maxAttempts,
 		Backoff:        *backoff,
@@ -158,6 +173,18 @@ func main() {
 			fatal(err)
 		}
 		spec.InputS = "S"
+	}
+	switch *planIs {
+	case "":
+	case "auto":
+		p, err := fuzzyjoin.Plan(context.Background(), spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, p.Render())
+		spec.Config = p.Best.Apply(spec.Config)
+	default:
+		fatal(fmt.Errorf("unknown -plan %q (only \"auto\")", *planIs))
 	}
 	res, err := fuzzyjoin.Join(context.Background(), spec)
 	if err != nil {

@@ -1,8 +1,8 @@
 // Command ssjcheck is the conformance harness CLI: it generates a
 // seeded randomized workload, sweeps every pipeline variant in the
 // configuration matrix (stage combos × join kind × routing × block
-// processing × FVT build path × bitmap filter × execution mode) against
-// an exact record-level oracle,
+// processing × hot-token skew split × FVT build path × bitmap filter ×
+// execution mode) against an exact record-level oracle,
 // and checks the metamorphic invariant suite. Any divergence is
 // reported with a minimized reproducer — the exact ssjcheck command
 // line that re-creates it.
@@ -12,15 +12,15 @@
 //	ssjcheck [-seed S] [-records N] [-vocab V] [-tau T]
 //	         [-skew Z] [-neardup R] [-title-min N] [-title-max N] [-overlap F]
 //	         [-join self,rs] [-combo LIST] [-routing LIST] [-blocks LIST]
-//	         [-build LIST] [-bitmap LIST] [-exec LIST]
+//	         [-split LIST] [-build LIST] [-bitmap LIST] [-exec LIST]
 //	         [-workers N] [-chaos RATE] [-chaos-seed S]
 //	         [-sweep] [-invariants] [-serve] [-minimize] [-v]
 //
 // The matrix filters take comma-separated allowlists (empty = all):
 // combos like "BTO-PK-BRJ,OPTO-FVT-OPRJ" (kernels BK, PK, FVT),
-// routings "individual,grouped", blocks "none,map,reduce", FVT build
-// paths "bulk,incr", bitmaps "off,on", execs
-// "plain,faults,parallel,dist".
+// routings "individual,grouped", blocks "none,map,reduce", hot-token
+// split fan-outs "0,2,4", FVT build paths "bulk,incr", bitmaps
+// "off,on", execs "plain,faults,parallel,dist".
 //
 // "dist" cells dispatch task attempts to -workers forked worker
 // processes over RPC; -chaos additionally SIGKILLs workers mid-task on
@@ -65,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		combos   = fs.String("combo", "", "stage combos to sweep, e.g. BTO-PK-BRJ (empty = all twelve)")
 		routings = fs.String("routing", "", "token routings to sweep: individual,grouped (empty = both)")
 		blocks   = fs.String("blocks", "", "block modes to sweep: none,map,reduce (empty = all)")
+		splits   = fs.String("split", "", "hot-token split fan-outs to sweep: 0,2,4 (empty = all)")
 		builds   = fs.String("build", "", "FVT build paths to sweep: bulk,incr (empty = both)")
 		bitmaps  = fs.String("bitmap", "", "bitmap filter settings to sweep: off,on (empty = both)")
 		execs    = fs.String("exec", "", "execution modes to sweep: plain,faults,parallel,dist (empty = all)")
@@ -113,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Combos:   *combos,
 			Routings: *routings,
 			Blocks:   *blocks,
+			Splits:   *splits,
 			Builds:   *builds,
 			Bitmaps:  *bitmaps,
 			Execs:    *execs,

@@ -28,7 +28,7 @@ func TestRunSmallSweep(t *testing.T) {
 	if !strings.Contains(out.String(), "PASS") {
 		t.Fatalf("no PASS line in output: %s", out.String())
 	}
-	if !strings.Contains(out.String(), "sweep: 8 variants") { // 2 joins × 2 routings × 2 bitmap settings
+	if !strings.Contains(out.String(), "sweep: 24 variants") { // 2 joins × 2 routings × 3 splits × 2 bitmap settings
 		t.Fatalf("unexpected variant count: %s", out.String())
 	}
 }

@@ -10,12 +10,14 @@
 // -only selects a comma-separated subset of experiment names (fig8, fig9,
 // table1, fig11, table2, fig12, fig13, fig14, groups, skew, blocks,
 // filters, kernels, fvt, routing, combiner, singlestage, engine, tau,
-// faults, nodefaults, distrib, serve).
+// faults, nodefaults, distrib, serve, planner).
 //
 // Unlike the simulated-makespan experiments, "distrib" and "serve"
 // measure real wall-clock time; -distrib-out FILE and -serve-out FILE
 // record their results as JSON (the committed BENCH_distrib.json and
-// BENCH_serve.json).
+// BENCH_serve.json). "planner" sweeps the cost planner against a
+// hand-tuned grid on three Zipf-skewed workloads; -planner-out FILE
+// records the ablation as JSON (the committed BENCH_planner.json).
 package main
 
 import (
@@ -46,6 +48,7 @@ func main() {
 
 		distribOut = flag.String("distrib-out", "", "write the distrib ablation result as JSON to this file")
 		serveOut   = flag.String("serve-out", "", "write the serve ablation result as JSON to this file")
+		plannerOut = flag.String("planner-out", "", "write the planner ablation result as JSON to this file")
 
 		traceOn  = flag.Bool("trace", false, "also run the traced fault-tolerance demo and write trace.jsonl, timeline.svg, and metrics.json")
 		traceOut = flag.String("trace-out", "", "directory for the trace demo artifacts (implies -trace; default \"trace\" when -trace is set)")
@@ -145,6 +148,10 @@ func main() {
 			doc, err := sr.JSON()
 			writeJSON(*serveOut, doc, err)
 		}
+		if pr, ok := r.(*experiments.PlannerResult); ok && *plannerOut != "" {
+			doc, err := pr.JSON()
+			writeJSON(*plannerOut, doc, err)
+		}
 		fmt.Printf("[%s ran in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -171,6 +178,7 @@ func main() {
 	run("nodefaults", func() (renderer, error) { return s.NodeFaultAblation() })
 	run("distrib", func() (renderer, error) { return s.DistribAblation() })
 	run("serve", func() (renderer, error) { return s.ServeAblation() })
+	run("planner", func() (renderer, error) { return s.PlannerAblation() })
 
 	if *traceOn {
 		start := time.Now()

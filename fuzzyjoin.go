@@ -45,6 +45,11 @@
 // full PPJoin+ filter stack. Set Kernel: fuzzyjoin.PK and RecordJoin:
 // fuzzyjoin.OPRJ for the fastest combination the paper measured
 // (BTO-PK-OPRJ), or keep BRJ for the most scalable one (BTO-PK-BRJ).
+// Or let the cost planner choose from a sample of the workload:
+//
+//	p, err := fuzzyjoin.Plan(ctx, spec)
+//	spec.Config = p.Best.Apply(spec.Config)
+//	res, err := fuzzyjoin.Join(ctx, spec)
 //
 // Joins and queries are cancellable: cancel the ctx and the call
 // returns an error matching ErrCanceled at the next task boundary.
@@ -66,6 +71,7 @@ import (
 	"fuzzyjoin/internal/dfs"
 	"fuzzyjoin/internal/editdist"
 	"fuzzyjoin/internal/mapreduce"
+	"fuzzyjoin/internal/plan"
 	"fuzzyjoin/internal/records"
 	"fuzzyjoin/internal/simfn"
 	"fuzzyjoin/internal/ssjserve"
@@ -311,6 +317,106 @@ func Join(ctx context.Context, spec JoinSpec) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// Cost-planner types (see internal/plan for the model).
+type (
+	// JoinPlan is the planner's decision: the chosen knob vector
+	// (Best), every candidate ranked by predicted makespan, and the
+	// input sample the decision was made from. Render() formats it for
+	// logs.
+	JoinPlan = plan.Plan
+	// PlanChoice is one complete knob vector the planner can select:
+	// Stage 1/2/3 algorithms, routing, reducer count, bitmap filter,
+	// and the hot-token skew split. Apply copies it onto a Config.
+	PlanChoice = plan.Choice
+	// PlanOptions bounds planner sampling (record budget, head size,
+	// stride seed). The zero value is the default policy.
+	PlanOptions = plan.Options
+)
+
+// Plan chooses a join configuration for the spec's workload without
+// running it: it reads a bounded deterministic sample of the input,
+// measures the statistics the knob choices are sensitive to (the
+// token-frequency head, record lengths, R-S dictionary overlap),
+// predicts every candidate knob vector's makespan on the virtual
+// cluster, and returns the ranked plan. Planning is advisory and
+// admissible — every choice it can emit produces byte-identical join
+// output, so a bad prediction can cost time but never correctness.
+//
+// Use it ahead of Join:
+//
+//	p, err := fuzzyjoin.Plan(ctx, spec)
+//	if err != nil { ... }
+//	spec.Config = p.Best.Apply(spec.Config)
+//	res, err := fuzzyjoin.Join(ctx, spec)
+//
+// The spec is interpreted exactly as Join interprets it (file mode
+// needs Config.FS; in-memory mode forbids it). The cluster size is
+// taken from Config.FS when set, else a small default; sampling follows
+// Config's threshold, similarity function, tokenizer, and join fields.
+func Plan(ctx context.Context, spec JoinSpec) (*JoinPlan, error) {
+	cfg := spec.Config
+	fileMode := spec.Input != "" || spec.InputS != ""
+	memMode := spec.Records != nil || spec.RecordsS != nil
+	switch {
+	case fileMode && memMode:
+		return nil, fmt.Errorf("fuzzyjoin: JoinSpec mixes file inputs (%q) and in-memory records; use one mode", spec.Input)
+	case !fileMode && !memMode:
+		return nil, fmt.Errorf("fuzzyjoin: empty JoinSpec: set Input or Records")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+
+	var rLines, sLines []string
+	nodes := 4 // representative small cluster for in-memory planning
+	if fileMode {
+		if spec.Input == "" {
+			return nil, fmt.Errorf("fuzzyjoin: JoinSpec.InputS set without Input (the R side)")
+		}
+		if cfg.FS == nil {
+			return nil, fmt.Errorf("fuzzyjoin: file-mode planning needs Config.FS")
+		}
+		nodes = cfg.FS.Nodes()
+		var err error
+		if rLines, err = mapreduce.ReadLines(cfg.FS, spec.Input); err != nil {
+			return nil, err
+		}
+		if spec.InputS != "" {
+			if sLines, err = mapreduce.ReadLines(cfg.FS, spec.InputS); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if spec.Records == nil {
+			return nil, fmt.Errorf("fuzzyjoin: JoinSpec.RecordsS set without Records (the R side)")
+		}
+		rLines = make([]string, len(spec.Records))
+		for i, r := range spec.Records {
+			rLines[i] = r.Line()
+		}
+		if spec.RecordsS != nil {
+			sLines = make([]string, len(spec.RecordsS))
+			for i, r := range spec.RecordsS {
+				sLines[i] = r.Line()
+			}
+		}
+	}
+
+	s, err := plan.New(rLines, sLines, plan.Options{
+		Fn:         cfg.Fn,
+		Threshold:  cfg.Threshold,
+		Tokenizer:  cfg.Tokenizer,
+		JoinFields: cfg.JoinFields,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return plan.Decide(s, nodes), nil
 }
 
 // SelfJoin joins a record file with itself.

@@ -130,10 +130,12 @@ func TestMatrixEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Per join kind: BK has 4 combos × 3 block modes, PK 4 × 1, FVT
-	// 4 × 2 build paths; times 2 routings × 2 bitmap settings × 4 exec
-	// modes; times 2 join kinds.
-	if want := 2 * (4*3 + 4*1 + 4*2) * 2 * 2 * 4; len(all) != want {
+	// Per join kind and (TO, RJ) combo: BK has 3 block modes of which
+	// blocks=none carries 3 split settings (so 3+2 = 5 cells), PK has 3
+	// split settings, FVT 2 build paths × 3 split settings; times 4
+	// (TO, RJ) combos × 2 routings × 2 bitmap settings × 4 exec modes ×
+	// 2 join kinds.
+	if want := 2 * 4 * (5 + 3 + 2*3) * 2 * 2 * 4; len(all) != want {
 		t.Fatalf("full matrix has %d variants, want %d", len(all), want)
 	}
 	seen := map[string]bool{}
@@ -147,8 +149,18 @@ func TestMatrixEnumeration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sub) != 4 { // two routings × two bitmap settings
-		t.Fatalf("filtered matrix has %d variants, want 4", len(sub))
+	if len(sub) != 12 { // two routings × three splits × two bitmap settings
+		t.Fatalf("filtered matrix has %d variants, want 12", len(sub))
+	}
+	nosplit, err := Matrix(Filter{Joins: "self", Combos: "BTO-PK-BRJ", Splits: "0", Execs: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nosplit) != 4 { // two routings × two bitmap settings
+		t.Fatalf("split-filtered matrix has %d variants, want 4", len(nosplit))
+	}
+	if _, err := Matrix(Filter{Splits: "3"}); err == nil {
+		t.Fatal("unknown split value accepted")
 	}
 	if _, err := Matrix(Filter{Blocks: "mpa"}); err == nil {
 		t.Fatal("typo'd filter value accepted")
@@ -166,7 +178,7 @@ func TestVariantFlagsNameReproducer(t *testing.T) {
 	w := Workload{Records: 30, Seed: 9, Skew: 1.5}
 	got := v.Flags(w, Params{Threshold: 0.7})
 	for _, frag := range []string{"-seed 9", "-records 30", "-tau 0.7", "-join rs",
-		"-combo BTO-BK-BRJ", "-blocks map", "-build bulk", "-bitmap on", "-exec faults", "-skew 1.5"} {
+		"-combo BTO-BK-BRJ", "-blocks map", "-split 0", "-build bulk", "-bitmap on", "-exec faults", "-skew 1.5"} {
 		if !strings.Contains(got, frag) {
 			t.Fatalf("reproducer %q missing %q", got, frag)
 		}

@@ -52,6 +52,13 @@ type Variant struct {
 	Routing core.Routing
 	// Block is the §5 block-processing mode (BK kernel only).
 	Block core.BlockMode
+	// Split is the hot-token skew-split fan-out (core.Config.SplitK):
+	// 0 = off, k ≥ 2 salts hot prefix tokens across k(k+1)/2 sub-cells
+	// with a merge-side dedup post-pass. Only generated for blocks=none
+	// cells (splitting and block processing are alternative skew
+	// strategies, as core.Validate enforces). Admissible, so every
+	// split setting must match the oracle.
+	Split int
 	// Build selects the FVT tree build path (FVT kernel only): false =
 	// deterministic sorted bulk build, true = streaming arrival-order
 	// incremental build (the tail-extended path the online service
@@ -101,10 +108,10 @@ func buildFlag(incr bool) string {
 }
 
 // Name renders the variant compactly, e.g.
-// "self/BTO-BK-BRJ/grouped/blocks=map/build=bulk/bitmap=on/faults".
+// "self/BTO-BK-BRJ/grouped/blocks=map/split=0/build=bulk/bitmap=on/faults".
 func (v Variant) Name() string {
-	return fmt.Sprintf("%s/%s/%s/blocks=%s/build=%s/bitmap=%s/%s",
-		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), buildFlag(v.Build), bitmapFlag(v.Bitmap), v.Exec)
+	return fmt.Sprintf("%s/%s/%s/blocks=%s/split=%d/build=%s/bitmap=%s/%s",
+		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), v.Split, buildFlag(v.Build), bitmapFlag(v.Bitmap), v.Exec)
 }
 
 // Flags renders the exact ssjcheck invocation that re-runs this single
@@ -112,9 +119,9 @@ func (v Variant) Name() string {
 func (v Variant) Flags(w Workload, p Params) string {
 	w = w.fill()
 	p = p.fill()
-	s := fmt.Sprintf("ssjcheck -seed %d -records %d -vocab %d -tau %g -join %s -combo %s -routing %s -blocks %s -build %s -bitmap %s -exec %s",
+	s := fmt.Sprintf("ssjcheck -seed %d -records %d -vocab %d -tau %g -join %s -combo %s -routing %s -blocks %s -split %d -build %s -bitmap %s -exec %s",
 		w.Seed, w.Records, w.Vocab, p.Threshold,
-		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), buildFlag(v.Build), bitmapFlag(v.Bitmap), v.Exec)
+		v.joinName(), v.combo(), v.Routing, blockFlag(v.Block), v.Split, buildFlag(v.Build), bitmapFlag(v.Bitmap), v.Exec)
 	if v.Exec == ExecDist {
 		s += " -workers 2"
 	}
@@ -134,13 +141,14 @@ func (v Variant) Flags(w Workload, p Params) string {
 // lists. Empty fields mean "all". Values match the tokens used in
 // Variant names and ssjcheck flags: joins "self,rs"; combos like
 // "BTO-PK-OPRJ"; routings "individual,grouped"; blocks
-// "none,map,reduce"; builds "bulk,incr"; bitmaps "off,on"; execs
-// "plain,faults,parallel,dist".
+// "none,map,reduce"; splits "0,2,4"; builds "bulk,incr"; bitmaps
+// "off,on"; execs "plain,faults,parallel,dist".
 type Filter struct {
 	Joins    string
 	Combos   string
 	Routings string
 	Blocks   string
+	Splits   string
 	Builds   string
 	Bitmaps  string
 	Execs    string
@@ -201,6 +209,9 @@ func (f Filter) validate() error {
 	if err := check("-blocks", f.Blocks, []string{"none", "map", "reduce"}); err != nil {
 		return err
 	}
+	if err := check("-split", f.Splits, []string{"0", "2", "4"}); err != nil {
+		return err
+	}
 	if err := check("-build", f.Builds, []string{"bulk", "incr"}); err != nil {
 		return err
 	}
@@ -212,10 +223,12 @@ func (f Filter) validate() error {
 
 // Matrix enumerates every valid variant passing the filter, in a fixed
 // deterministic order: join × token order × kernel × record join ×
-// routing × block mode × build × bitmap × exec mode. Block modes other
-// than "none" are only generated for the BK kernel (the §5 strategies
-// are BK-only, as core.Validate enforces) and the incremental build
-// only for the FVT kernel (the other kernels have no tree to build).
+// routing × block mode × split × build × bitmap × exec mode. Block
+// modes other than "none" are only generated for the BK kernel (the §5
+// strategies are BK-only, as core.Validate enforces), the incremental
+// build only for the FVT kernel (the other kernels have no tree to
+// build), and split fan-outs 2 and 4 only for blocks=none cells
+// (splitting and block processing are mutually exclusive).
 func Matrix(f Filter) ([]Variant, error) {
 	if err := f.validate(); err != nil {
 		return nil, err
@@ -248,25 +261,35 @@ func Matrix(f Filter) ([]Variant, error) {
 							if !keep(f.Blocks, blockFlag(bm)) {
 								continue
 							}
-							for _, build := range builds {
-								if !keep(f.Builds, buildFlag(build)) {
+							splits := []int{0}
+							if bm == core.NoBlocks {
+								splits = append(splits, 2, 4)
+							}
+							for _, split := range splits {
+								if !keep(f.Splits, fmt.Sprintf("%d", split)) {
 									continue
 								}
-								for _, bitmap := range []bool{false, true} {
-									if !keep(f.Bitmaps, bitmapFlag(bitmap)) {
+								for _, build := range builds {
+									if !keep(f.Builds, buildFlag(build)) {
 										continue
 									}
-									for _, exec := range []ExecMode{ExecPlain, ExecFaults, ExecParallel, ExecDist} {
-										if !keep(f.Execs, exec.String()) {
+									for _, bitmap := range []bool{false, true} {
+										if !keep(f.Bitmaps, bitmapFlag(bitmap)) {
 											continue
 										}
-										v2 := v
-										v2.Routing = routing
-										v2.Block = bm
-										v2.Build = build
-										v2.Bitmap = bitmap
-										v2.Exec = exec
-										out = append(out, v2)
+										for _, exec := range []ExecMode{ExecPlain, ExecFaults, ExecParallel, ExecDist} {
+											if !keep(f.Execs, exec.String()) {
+												continue
+											}
+											v2 := v
+											v2.Routing = routing
+											v2.Block = bm
+											v2.Split = split
+											v2.Build = build
+											v2.Bitmap = bitmap
+											v2.Exec = exec
+											out = append(out, v2)
+										}
 									}
 								}
 							}

@@ -77,6 +77,8 @@ type cfgSpec struct {
 	BlockMode    int          `json:"block_mode,omitempty"`
 	NumBlocks    int          `json:"num_blocks,omitempty"`
 	LengthBucket int          `json:"length_bucket,omitempty"`
+	SplitK       int          `json:"split_k,omitempty"`
+	SplitHot     int          `json:"split_hot,omitempty"`
 	NoCombiner   bool         `json:"no_combiner,omitempty"`
 }
 
@@ -96,6 +98,8 @@ func cfgSpecOf(cfg *Config) (cfgSpec, bool) {
 		BlockMode:    int(cfg.BlockMode),
 		NumBlocks:    cfg.NumBlocks,
 		LengthBucket: cfg.LengthBucket,
+		SplitK:       cfg.SplitK,
+		SplitHot:     cfg.SplitHotCount,
 		NoCombiner:   cfg.NoCombiner,
 	}, ok
 }
@@ -120,6 +124,8 @@ func (cs cfgSpec) config() (*Config, error) {
 		BlockMode:      BlockMode(cs.BlockMode),
 		NumBlocks:      cs.NumBlocks,
 		LengthBucket:   cs.LengthBucket,
+		SplitK:         cs.SplitK,
+		SplitHotCount:  cs.SplitHot,
 		NoCombiner:     cs.NoCombiner,
 	}, nil
 }
@@ -185,9 +191,18 @@ func lengthWidth(cfg *Config) int {
 // buildCoreProgram with a Config rebuilt from the spec.
 func programFor(cfg *Config, ps progSpec) (*mapreduce.Program, error) {
 	p := &mapreduce.Program{SortPrefix: stageKeySortPrefix}
+	// Hot-token splitting inserts a cell byte after the group word;
+	// partitioning and grouping widen to cover it so each (group, cell)
+	// is its own reduce group. Block and length-routed kernels never
+	// split (Validate forbids the combination), so their widths are
+	// unaffected.
+	cellW := 0
+	if cfg.SplitK >= 2 {
+		cellW = 1
+	}
 	group4 := func() {
-		p.Partitioner = mapreduce.PrefixPartitioner(4)
-		p.GroupComparator = keys.PrefixComparator(4)
+		p.Partitioner = mapreduce.PrefixPartitioner(4 + cellW)
+		p.GroupComparator = keys.PrefixComparator(4 + cellW)
 	}
 	group8 := func() {
 		p.Partitioner = mapreduce.PrefixPartitioner(8)
@@ -278,6 +293,9 @@ func programFor(cfg *Config, ps progSpec) (*mapreduce.Program, error) {
 	case "ss-dedup":
 		p.Mapper = mapreduce.IdentityMapper
 		p.Reducer = dedupFirstReducer
+	case "s2-split-dedup":
+		p.Mapper = mapreduce.IdentityMapper
+		p.Reducer = s2SplitDedupReducer
 	default:
 		return nil, fmt.Errorf("core: unknown program kind %q", ps.Kind)
 	}

@@ -27,6 +27,11 @@ import (
 // The PK length ordering realizes the index-eviction optimization; the
 // R-S length classes force every joinable R projection to arrive before
 // the S projection that probes it (§4, Figure 6).
+//
+// With hot-token splitting (Config.SplitK ≥ 2, see stage2_split.go) a
+// cell byte is inserted immediately after the group word in all four
+// layouts, and partitioning/grouping widens to the 5-byte
+// (group, cell) prefix.
 
 const (
 	relR = 0
@@ -45,8 +50,14 @@ type stage2Mapper struct {
 
 	order     *tokenize.Order
 	numGroups int
-	keyBuf    []byte
-	valBuf    []byte
+	// split mirrors cfg.SplitK ≥ 2; hotMin is the lowest token rank
+	// treated as hot (ranks are frequency-ascending, so the hottest
+	// tokens occupy the top SplitHotCount ranks). Both derive from the
+	// loaded token order in Setup.
+	split  bool
+	hotMin int
+	keyBuf []byte
+	valBuf []byte
 }
 
 // NewTaskInstance gives each map task its own mapper (the token order,
@@ -73,7 +84,14 @@ func (m *stage2Mapper) Setup(ctx *mapreduce.Context) error {
 	if m.numGroups < 1 {
 		m.numGroups = 1
 	}
+	m.split = m.cfg.SplitK >= 2
+	m.hotMin = m.order.Len() - m.cfg.SplitHotCount
 	return nil
+}
+
+// hot reports whether a token rank is in the split-hot frequency head.
+func (m *stage2Mapper) hot(rank uint32) bool {
+	return int(rank) >= m.hotMin
 }
 
 // group maps a token rank to its routing group: the rank itself for
@@ -112,26 +130,52 @@ func (m *stage2Mapper) Map(ctx *mapreduce.Context, _, value []byte, out mapreduc
 	}
 	m.valBuf = records.Projection{RID: rid, Ranks: ranks}.AppendBinary(m.valBuf[:0])
 	prefix := m.cfg.Fn.PrefixLength(len(ranks), m.cfg.Threshold)
-	emitted := make(map[uint32]bool, prefix)
-	for i := 0; i < prefix; i++ {
-		g := m.group(ranks[i])
-		if emitted[g] {
-			// Grouped routing can map several prefix tokens to one
-			// group; one copy per group suffices (the point of grouping:
-			// fewer replicas, §3.2).
-			continue
+	// Grouped routing can map several prefix tokens to one group; one
+	// copy per (group, cell) suffices (the point of grouping: fewer
+	// replicas, §3.2). The cell is always 0 without splitting.
+	emitted := make(map[uint64]bool, prefix)
+	emit := func(g uint32, cell uint8) error {
+		ck := uint64(g)<<8 | uint64(cell)
+		if emitted[ck] {
+			return nil
 		}
-		emitted[g] = true
-		if err := m.emitProjection(g, len(ranks), out); err != nil {
+		emitted[ck] = true
+		if err := m.emitProjection(g, cell, len(ranks), out); err != nil {
 			return err
 		}
 		ctx.Count("stage2.replicas", 1)
+		return nil
+	}
+	for i := 0; i < prefix; i++ {
+		rank := ranks[i]
+		g := m.group(rank)
+		if !m.split || !m.hot(rank) {
+			if err := emit(g, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		// Hot token: replicate to the k triangle cells of this record's
+		// salt class. Any two records meet in at least one cell of this
+		// group (exactly one when their salts differ), so no τ-pair is
+		// lost; same-salt pairs surface in up to k cells and the
+		// merge-side dedup post-pass drops the copies.
+		ctx.Count("stage2.split_hot_tokens", 1)
+		s := splitSalt(rid, m.cfg.SplitK)
+		for j := 0; j < m.cfg.SplitK; j++ {
+			if err := emit(g, splitCell(s, j, m.cfg.SplitK)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
 
-func (m *stage2Mapper) emitProjection(g uint32, length int, out mapreduce.Emitter) error {
+func (m *stage2Mapper) emitProjection(g uint32, cell uint8, length int, out mapreduce.Emitter) error {
 	k := keys.AppendUint32(m.keyBuf[:0], g)
+	if m.split {
+		k = append(k, cell)
+	}
 	switch {
 	case !m.rs && m.cfg.Kernel == PK:
 		k = keys.AppendUint32(k, uint32(length))
@@ -265,7 +309,7 @@ func (r *bkRSReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapredu
 	)
 	defer func() { ctx.Memory.Free(held) }()
 	for v, ok := values.Next(); ok; v, ok = values.Next() {
-		rel, err := relOfBKKey(values.Key())
+		rel, err := relOfBKKey(values.Key(), r.cfg.SplitK >= 2)
 		if err != nil {
 			return err
 		}
@@ -298,18 +342,28 @@ func (r *bkRSReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapredu
 	return nil
 }
 
-func relOfBKKey(key []byte) (byte, error) {
-	if len(key) != 5 {
+// relOfBKKey and relOfPKKey read the relation tag off an R-S key; with
+// hot-token splitting the inserted cell byte shifts the tag by one.
+func relOfBKKey(key []byte, split bool) (byte, error) {
+	want := 5
+	if split {
+		want = 6
+	}
+	if len(key) != want {
 		return 0, fmt.Errorf("core: malformed BK R-S key of %d bytes", len(key))
 	}
-	return key[4], nil
+	return key[want-1], nil
 }
 
-func relOfPKKey(key []byte) (byte, error) {
-	if len(key) != 9 {
+func relOfPKKey(key []byte, split bool) (byte, error) {
+	want := 9
+	if split {
+		want = 10
+	}
+	if len(key) != want {
 		return 0, fmt.Errorf("core: malformed PK R-S key of %d bytes", len(key))
 	}
-	return key[8], nil
+	return key[want-1], nil
 }
 
 // pkRSReducer indexes R projections and probes with S projections. The
@@ -326,7 +380,7 @@ func (r *pkRSReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapredu
 	defer func() { ctx.Memory.Free(held) }()
 	var emitErr error
 	for v, ok := values.Next(); ok; v, ok = values.Next() {
-		rel, err := relOfPKKey(values.Key())
+		rel, err := relOfPKKey(values.Key(), r.cfg.SplitK >= 2)
 		if err != nil {
 			return err
 		}
@@ -370,7 +424,7 @@ func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapre
 	if cfg.LengthRouting {
 		return runStage2SelfLengthRouted(cfg, input, tokenFile, work)
 	}
-	out := work + "/s2"
+	out, kernelOut := stage2Outputs(cfg, work)
 	job, err := coreJob(cfg, progSpec{Kind: "s2-self", TokenFile: tokenFile})
 	if err != nil {
 		return "", nil, err
@@ -378,13 +432,13 @@ func runStage2Self(cfg *Config, input, tokenFile, work string) (string, []*mapre
 	job.Name = fmt.Sprintf("s2-%s-self", cfg.Kernel)
 	job.Inputs = []string{input}
 	job.InputFormat = mapreduce.Text
-	job.Output = out
+	job.Output = kernelOut
 	job.SideFiles = []string{tokenFile}
 	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}
-	return out, []*mapreduce.Metrics{m}, nil
+	return runSplitDedup(cfg, kernelOut, out, []*mapreduce.Metrics{m})
 }
 
 // runStage2RS runs the kernel job for an R-S join.
@@ -395,7 +449,7 @@ func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, [
 	if cfg.LengthRouting {
 		return runStage2RSLengthRouted(cfg, inputR, inputS, tokenFile, work)
 	}
-	out := work + "/s2"
+	out, kernelOut := stage2Outputs(cfg, work)
 	job, err := coreJob(cfg, progSpec{Kind: "s2-rs", TokenFile: tokenFile, InputR: inputR, RS: true})
 	if err != nil {
 		return "", nil, err
@@ -403,13 +457,13 @@ func runStage2RS(cfg *Config, inputR, inputS, tokenFile, work string) (string, [
 	job.Name = fmt.Sprintf("s2-%s-rs", cfg.Kernel)
 	job.Inputs = []string{inputR, inputS}
 	job.InputFormat = mapreduce.Text
-	job.Output = out
+	job.Output = kernelOut
 	job.SideFiles = []string{tokenFile}
 	m, err := mapreduce.RunContext(cfg.context(), job)
 	if err != nil {
 		return "", nil, err
 	}
-	return out, []*mapreduce.Metrics{m}, nil
+	return runSplitDedup(cfg, kernelOut, out, []*mapreduce.Metrics{m})
 }
 
 // rsDispatchMapper tags records by their input relation (§4: the key is
@@ -436,6 +490,8 @@ func (m *rsDispatchMapper) Setup(ctx *mapreduce.Context) error {
 	// memory budget by reusing the loaded order.
 	m.s.order = m.r.order
 	m.s.numGroups = m.r.numGroups
+	m.s.split = m.r.split
+	m.s.hotMin = m.r.hotMin
 	return nil
 }
 

@@ -196,7 +196,7 @@ func (r *fvtRSReducer) Reduce(ctx *mapreduce.Context, key []byte, values *mapred
 	)
 	defer func() { ctx.Memory.Free(heldItems + heldTree) }()
 	for v, ok := values.Next(); ok; v, ok = values.Next() {
-		rel, err := relOfBKKey(values.Key())
+		rel, err := relOfBKKey(values.Key(), r.cfg.SplitK >= 2)
 		if err != nil {
 			return err
 		}

@@ -44,3 +44,50 @@ func TestGanttSVGEmpty(t *testing.T) {
 		t.Fatal("empty chart did not render")
 	}
 }
+
+// TestGanttSVGSubPixelSpan: a zero- or near-zero-duration span must
+// still draw a visible sliver rather than a 0-width rect.
+func TestGanttSVGSubPixelSpan(t *testing.T) {
+	svg := GanttSVG(Gantt{
+		Lanes: []string{"node 0"},
+		Spans: []GanttSpan{
+			{Lane: 0, Start: 5, End: 5, Color: "#111", Label: "instant"},
+			{Lane: 0, Start: 0, End: 100, Color: "#222", Label: "long"},
+		},
+	})
+	if !strings.Contains(svg, `width="1.2"`) {
+		t.Error("zero-duration span not widened to the minimum sliver")
+	}
+	if got := strings.Count(svg, "<title>"); got != 2 {
+		t.Errorf("bar count = %d, want 2", got)
+	}
+}
+
+// TestGanttSVGMarkBeyondSpans: a mark past the last span must extend
+// the time axis so it stays inside the plot.
+func TestGanttSVGMarkBeyondSpans(t *testing.T) {
+	svg := GanttSVG(Gantt{
+		Lanes: []string{"node 0"},
+		Spans: []GanttSpan{{Lane: 0, Start: 0, End: 10, Color: "#111"}},
+		Marks: []GanttMark{{X: 40, Label: "late failure"}},
+	})
+	if !strings.Contains(svg, "late failure") {
+		t.Fatal("mark label missing")
+	}
+	// With xmax = 40 the axis must label a tick past 10.
+	if !strings.Contains(svg, ">40<") && !strings.Contains(svg, ">30<") {
+		t.Errorf("axis did not extend to cover the mark:\n%s", svg)
+	}
+}
+
+// TestGanttSVGMarkDefaultColor: a mark without a color falls back to
+// the failure red instead of emitting stroke="".
+func TestGanttSVGMarkDefaultColor(t *testing.T) {
+	svg := GanttSVG(Gantt{Marks: []GanttMark{{X: 1}}})
+	if strings.Contains(svg, `stroke=""`) {
+		t.Error("colorless mark emitted an empty stroke")
+	}
+	if !strings.Contains(svg, "#c0392b") {
+		t.Error("default mark color missing")
+	}
+}

@@ -1,0 +1,137 @@
+package fuzzyjoin_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"fuzzyjoin"
+	"fuzzyjoin/internal/datagen"
+)
+
+// sortedRIDs canonicalizes joined pairs to a sorted RID-pair list —
+// output order varies with partitioning, the pair set must not.
+func sortedRIDs(pairs []fuzzyjoin.JoinedPair) [][2]uint64 {
+	out := make([][2]uint64, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]uint64{p.Left.RID, p.Right.RID}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func planCorpus() []fuzzyjoin.Record {
+	return datagen.Generate(datagen.Spec{Records: 120, Seed: 77, ZipfSkew: 2.0, VocabSize: 96})
+}
+
+// TestPlanInMemory pins the facade contract: Plan on an in-memory spec
+// returns a ranked, deterministic plan whose Best applies cleanly and
+// whose join output matches the default configuration's exactly.
+func TestPlanInMemory(t *testing.T) {
+	ctx := context.Background()
+	spec := fuzzyjoin.JoinSpec{Records: planCorpus()}
+	p, err := fuzzyjoin.Plan(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Candidates) == 0 || p.Best != p.Candidates[0].Choice {
+		t.Fatalf("malformed plan: %+v", p.Best)
+	}
+	p2, err := fuzzyjoin.Plan(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatal("Plan is not deterministic for the same spec")
+	}
+
+	def, err := fuzzyjoin.Join(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := spec
+	planned.Config = p.Best.Apply(planned.Config)
+	got, err := fuzzyjoin.Join(ctx, planned)
+	if err != nil {
+		t.Fatalf("join with planned config %s: %v", p.Best, err)
+	}
+	want, have := sortedRIDs(def.Joined), sortedRIDs(got.Joined)
+	if !reflect.DeepEqual(want, have) {
+		t.Fatalf("planned config %s changed the result:\nwant %v\ngot  %v", p.Best, want, have)
+	}
+}
+
+// TestPlanFileMode plans from DFS files and takes the cluster size from
+// the FS.
+func TestPlanFileMode(t *testing.T) {
+	fs := fuzzyjoin.NewFS(6)
+	if err := fuzzyjoin.WriteRecords(fs, "pubs", planCorpus()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := fuzzyjoin.Plan(context.Background(), fuzzyjoin.JoinSpec{
+		Config: fuzzyjoin.Config{FS: fs, Work: "job1"},
+		Input:  "pubs",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 6 {
+		t.Fatalf("planned for %d nodes, want the FS's 6", p.Nodes)
+	}
+	if !strings.Contains(p.Render(), "planner: chose") {
+		t.Fatalf("Render missing the decision:\n%s", p.Render())
+	}
+}
+
+// TestPlanRSMode samples both relations and measures their dictionary
+// overlap.
+func TestPlanRSMode(t *testing.T) {
+	r := planCorpus()
+	s := datagen.GenerateOverlapping(r, datagen.Spec{
+		Records: 150, Seed: 78, ZipfSkew: 2.0, VocabSize: 96, StartRID: 1 << 20,
+	}, 0.5)
+	p, err := fuzzyjoin.Plan(context.Background(),
+		fuzzyjoin.JoinSpec{Records: r, RecordsS: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Sample.RS {
+		t.Fatal("R-S spec not sampled as RS")
+	}
+	if p.Sample.DictOverlap <= 0 || p.Sample.DictOverlap > 1 {
+		t.Fatalf("DictOverlap = %g, want (0, 1]", p.Sample.DictOverlap)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		spec fuzzyjoin.JoinSpec
+		want string
+	}{
+		{"empty", fuzzyjoin.JoinSpec{}, "empty JoinSpec"},
+		{"mixed", fuzzyjoin.JoinSpec{Input: "f", Records: planCorpus()}, "mixes"},
+		{"file without FS", fuzzyjoin.JoinSpec{Input: "f"}, "needs Config.FS"},
+		{"S without R", fuzzyjoin.JoinSpec{RecordsS: planCorpus()}, "without Records"},
+	}
+	for _, tc := range cases {
+		_, err := fuzzyjoin.Plan(ctx, tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := fuzzyjoin.Plan(canceled, fuzzyjoin.JoinSpec{Records: planCorpus()}); !errorsIsCanceled(err) {
+		t.Fatalf("pre-canceled Plan: err = %v, want ErrCanceled", err)
+	}
+}
